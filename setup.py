@@ -1,0 +1,15 @@
+"""Setuptools entry point (kept for environments without PEP 660 support)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Python reproduction of 'Experiences Building an MLIR-Based SYCL "
+        "Compiler' (CGO 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,25 @@
+"""repro — Python reproduction of "Experiences Building an MLIR-Based SYCL
+Compiler" (CGO 2024).
+
+The public API is organised in layers:
+
+* :mod:`repro.ir` and :mod:`repro.dialects` — the mini-MLIR infrastructure
+  and the SYCL dialect (the paper's core contribution).
+* :mod:`repro.analysis` and :mod:`repro.transforms` — the paper's analyses
+  (alias, reaching definitions, uniformity, memory access) and device /
+  host-device optimizations (LICM, detect-reduction, loop internalization,
+  host raising, constant propagation, dead argument elimination).
+* :mod:`repro.runtime` and :mod:`repro.execution` — the SYCL runtime
+  substrate (buffers, accessors, queues) and the device simulator used in
+  place of GPU hardware.
+* :mod:`repro.frontend` — the kernel-builder DSL and the three compiler
+  drivers (SYCL-MLIR, DPC++ baseline, AdaptiveCpp baseline).
+* :mod:`repro.benchsuite` and :mod:`repro.evaluation` — the SYCL-Bench /
+  oneAPI workloads and the harness regenerating the paper's figures.
+"""
+
+__version__ = "1.0.0"
+
+from . import dialects, ir
+
+__all__ = ["dialects", "ir", "__version__"]

@@ -1,0 +1,26 @@
+"""Compiler analyses (paper, Section V)."""
+
+from .alias import AliasAnalysis, AliasResult, underlying_object
+from .callgraph import CallGraph, CallGraphNode, CallSite
+from .dataflow import StructuredDataFlowAnalysis
+from .memory_access import (
+    BasisKind,
+    BasisVariable,
+    MemoryAccess,
+    MemoryAccessAnalysis,
+    NonAffineAccessError,
+)
+from .reaching_definitions import ReachingDefinitionAnalysis, ReachingDefs
+from .sycl_alias import SYCLAliasAnalysis, sycl_values_definitely_distinct
+from .uniformity import Uniformity, UniformityAnalysis
+
+__all__ = [
+    "AliasAnalysis", "AliasResult", "underlying_object",
+    "CallGraph", "CallGraphNode", "CallSite",
+    "StructuredDataFlowAnalysis",
+    "BasisKind", "BasisVariable", "MemoryAccess", "MemoryAccessAnalysis",
+    "NonAffineAccessError",
+    "ReachingDefinitionAnalysis", "ReachingDefs",
+    "SYCLAliasAnalysis", "sycl_values_definitely_distinct",
+    "Uniformity", "UniformityAnalysis",
+]

@@ -1,0 +1,121 @@
+"""Structured data-flow analysis framework.
+
+MLIR ships a data-flow framework that analyses build on (paper, Sections V-B
+and V-C).  Because the IR in this project uses structured control flow
+(``scf``/``affine`` regions rather than arbitrary CFGs), the framework here
+is a region-walking abstract interpreter: concrete analyses provide a state
+type with ``copy`` / ``join`` and a transfer function, and the framework
+handles straight-line code, conditionals and loop fixpoints uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Optional, TypeVar
+
+from ..ir import Operation
+from ..dialects import affine as affine_dialect
+from ..dialects import scf as scf_dialect
+
+StateT = TypeVar("StateT")
+
+#: Maximum number of iterations used to stabilize loop bodies.
+LOOP_FIXPOINT_LIMIT = 4
+
+
+class AbstractState:
+    """Interface for analysis states."""
+
+    def copy(self) -> "AbstractState":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def join(self, other: "AbstractState") -> bool:
+        """Merge ``other`` into self; return True if self changed."""
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StructuredDataFlowAnalysis(Generic[StateT]):
+    """Forward abstract interpretation over structured regions.
+
+    Subclasses implement :meth:`transfer` for straight-line operations.  The
+    framework takes care of:
+
+    * ``scf.if``: both branches are analysed from a copy of the incoming
+      state and the results are joined;
+    * ``scf.for`` / ``affine.for`` / ``scf.while``: the body is re-analysed
+      until the state stabilises (bounded by :data:`LOOP_FIXPOINT_LIMIT`) and
+      joined with the state before the loop (zero-trip case);
+    * any other operation with regions: regions are analysed as if optionally
+      executed (state joined with the incoming state).
+
+    The state *before* every visited operation is recorded and can be
+    queried with :meth:`state_before`.
+    """
+
+    def __init__(self):
+        self._before: Dict[int, StateT] = {}
+
+    # -- to be provided by subclasses ------------------------------------
+    def initial_state(self, function: Operation) -> StateT:  # pragma: no cover
+        raise NotImplementedError
+
+    def transfer(self, op: Operation, state: StateT) -> None:  # pragma: no cover
+        """Apply the effect of ``op`` to ``state`` in place."""
+        raise NotImplementedError
+
+    # -- driver ------------------------------------------------------------
+    def run(self, function: Operation) -> None:
+        state = self.initial_state(function)
+        for region in function.regions:
+            for block in region.blocks:
+                self._process_block(block, state)
+
+    def state_before(self, op: Operation) -> Optional[StateT]:
+        return self._before.get(id(op))
+
+    # -- internals ----------------------------------------------------------
+    def _record(self, op: Operation, state: StateT) -> None:
+        self._before[id(op)] = state.copy()
+
+    def _process_block(self, block, state: StateT) -> None:
+        for op in list(block.operations):
+            self._process_op(op, state)
+
+    def _process_op(self, op: Operation, state: StateT) -> None:
+        self._record(op, state)
+
+        if isinstance(op, scf_dialect.IfOp):
+            then_state = state.copy()
+            self._process_block(op.then_block, then_state)
+            else_state = state.copy()
+            if op.else_block is not None:
+                self._process_block(op.else_block, else_state)
+            state.join(then_state)
+            state.join(else_state)
+            return
+
+        if isinstance(op, (scf_dialect.ForOp, affine_dialect.AffineForOp,
+                           scf_dialect.WhileOp, scf_dialect.ParallelOp)):
+            before_loop = state.copy()
+            for _ in range(LOOP_FIXPOINT_LIMIT):
+                iteration_state = state.copy()
+                for region in op.regions:
+                    for block in region.blocks:
+                        self._process_block(block, iteration_state)
+                changed = state.join(iteration_state)
+                if not changed:
+                    break
+            state.join(before_loop)
+            return
+
+        if op.regions:
+            # Unknown region-holding operation: analyse regions as optional.
+            for region in op.regions:
+                for block in region.blocks:
+                    region_state = state.copy()
+                    self._process_block(block, region_state)
+                    state.join(region_state)
+
+        self.transfer(op, state)

@@ -1,0 +1,35 @@
+"""Dialect definitions used by the SYCL-MLIR reproduction."""
+
+from . import affine, arith, builtin, func, llvm, math, memref, scf, sycl
+from .affine import AffineDialect
+from .arith import ArithDialect
+from .builtin import BuiltinDialect, ModuleOp
+from .func import FuncDialect, FuncOp
+from .llvm import LLVMDialect
+from .math import MathDialect
+from .memref import MemRefDialect
+from .scf import SCFDialect
+from .sycl import SYCLDialect
+
+
+def all_dialects():
+    """Instantiate every dialect shipped with the project."""
+    return [
+        BuiltinDialect(),
+        FuncDialect(),
+        ArithDialect(),
+        MathDialect(),
+        MemRefDialect(),
+        SCFDialect(),
+        AffineDialect(),
+        LLVMDialect(),
+        SYCLDialect(),
+    ]
+
+
+__all__ = [
+    "affine", "arith", "builtin", "func", "llvm", "math", "memref", "scf",
+    "sycl", "AffineDialect", "ArithDialect", "BuiltinDialect", "FuncDialect",
+    "LLVMDialect", "MathDialect", "MemRefDialect", "SCFDialect",
+    "SYCLDialect", "ModuleOp", "FuncOp", "all_dialects",
+]

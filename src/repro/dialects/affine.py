@@ -1,0 +1,240 @@
+"""``affine`` dialect: loops and memory accesses with affine index semantics.
+
+The affine dialect is where the paper's loop optimizations live: Detect
+Reduction operates on ``affine.for`` + ``affine.load``/``affine.store``
+(Listings 4-5), and Loop Internalization tiles ``affine.for`` nests
+(Listings 6-7).  The memory access analysis (Section V-D) derives access
+matrices from affine index expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import (
+    Block,
+    Dialect,
+    IndexType,
+    IntegerAttr,
+    LoopLikeInterface,
+    MemoryEffect,
+    MemoryEffectsInterface,
+    MemRefType,
+    Operation,
+    Trait,
+    Value,
+    i64,
+    register_op,
+)
+from ..ir.interfaces import read, write
+from .arith import constant_value_of
+
+
+@register_op
+class AffineYieldOp(Operation):
+    OPERATION_NAME = "affine.yield"
+    TRAITS = frozenset({Trait.TERMINATOR, Trait.PURE})
+
+    @classmethod
+    def build(cls, values: Sequence[Value] = ()) -> "AffineYieldOp":
+        return cls(operands=tuple(values))
+
+
+@register_op
+class AffineForOp(Operation, LoopLikeInterface):
+    """Counted loop with affine semantics.
+
+    Lower and upper bounds are index SSA values (typically constants), the
+    step is a positive integer attribute, and the body may carry loop-carried
+    values through ``iter_args`` exactly like ``scf.for``.
+    """
+
+    OPERATION_NAME = "affine.for"
+    TRAITS = frozenset({Trait.SINGLE_BLOCK, Trait.LOOP_LIKE})
+
+    @classmethod
+    def build(cls, lower: Value, upper: Value, step: int = 1,
+              iter_args: Sequence[Value] = ()) -> "AffineForOp":
+        result_types = tuple(v.type for v in iter_args)
+        op = cls(operands=(lower, upper, *iter_args),
+                 result_types=result_types,
+                 attributes={"step": IntegerAttr(int(step), i64())},
+                 regions=1)
+        body = Block([IndexType(), *[v.type for v in iter_args]],
+                     ["iv"] + [f"iter{i}" for i in range(len(iter_args))])
+        op.regions[0].add_block(body)
+        return op
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def lower_bound(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> int:
+        return self.get_int_attr("step", 1)
+
+    @property
+    def init_args(self) -> Sequence[Value]:
+        return self.operands[2:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].front
+
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def region_iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    def loop_body(self) -> Block:
+        return self.body
+
+    def loop_bounds(self):
+        return (self.lower_bound, self.upper_bound, self.step)
+
+    def constant_bounds(self) -> Optional[tuple]:
+        lb = constant_value_of(self.lower_bound)
+        ub = constant_value_of(self.upper_bound)
+        if lb is None or ub is None:
+            return None
+        return (int(lb), int(ub), self.step)
+
+    def constant_trip_count(self) -> Optional[int]:
+        bounds = self.constant_bounds()
+        if bounds is None:
+            return None
+        lb, ub, step = bounds
+        if step <= 0:
+            return None
+        return max(0, -(-(ub - lb) // step))
+
+    def yielded_values(self) -> Sequence[Value]:
+        terminator = self.body.terminator
+        return terminator.operands if terminator is not None else ()
+
+
+@register_op
+class AffineLoadOp(Operation, MemoryEffectsInterface):
+    OPERATION_NAME = "affine.load"
+
+    @classmethod
+    def build(cls, memref: Value, indices: Sequence[Value] = ()) -> "AffineLoadOp":
+        memref_type = memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise TypeError(f"affine.load expects a memref, got {memref_type}")
+        return cls(operands=(memref, *indices),
+                   result_types=(memref_type.element_type,))
+
+    @property
+    def memref(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [read(self.memref)]
+
+
+@register_op
+class AffineStoreOp(Operation, MemoryEffectsInterface):
+    OPERATION_NAME = "affine.store"
+
+    @classmethod
+    def build(cls, value: Value, memref: Value,
+              indices: Sequence[Value] = ()) -> "AffineStoreOp":
+        return cls(operands=(value, memref, *indices))
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def memref(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[2:]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [write(self.memref)]
+
+
+@register_op
+class AffineApplyOp(Operation):
+    """Applies an affine expression ``sum(coeff_i * operand_i) + constant``."""
+
+    OPERATION_NAME = "affine.apply"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, coefficients: Sequence[int], operands: Sequence[Value],
+              constant: int = 0) -> "AffineApplyOp":
+        if len(coefficients) != len(operands):
+            raise ValueError("coefficient / operand count mismatch")
+        op = cls(operands=tuple(operands), result_types=(IndexType(),),
+                 attributes={"constant": IntegerAttr(int(constant), i64())})
+        op.coefficients = [int(c) for c in coefficients]
+        return op
+
+    def fold(self):
+        values = [constant_value_of(v) for v in self.operands]
+        if any(v is None for v in values):
+            return None
+        total = self.get_int_attr("constant", 0)
+        for coeff, value in zip(self.coefficients, values):
+            total += coeff * int(value)
+        return [IntegerAttr(total, i64())]
+
+
+@register_op
+class AffineMinOp(Operation):
+    """Minimum of its operands (used for tiling boundary handling)."""
+
+    OPERATION_NAME = "affine.min"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, operands: Sequence[Value]) -> "AffineMinOp":
+        return cls(operands=tuple(operands), result_types=(IndexType(),))
+
+    def fold(self):
+        values = [constant_value_of(v) for v in self.operands]
+        if any(v is None for v in values):
+            return None
+        return [IntegerAttr(min(int(v) for v in values), i64())]
+
+
+def is_affine_access(op: Operation) -> bool:
+    return isinstance(op, (AffineLoadOp, AffineStoreOp))
+
+
+def enclosing_affine_loops(op: Operation) -> List[AffineForOp]:
+    """Affine loops enclosing ``op``, outermost first."""
+    loops: List[AffineForOp] = []
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, AffineForOp):
+            loops.append(parent)
+        parent = parent.parent_op()
+    loops.reverse()
+    return loops
+
+
+def is_perfectly_nested(outer: AffineForOp, inner: AffineForOp) -> bool:
+    """True if ``inner`` is the only non-terminator operation in ``outer``."""
+    body_ops = outer.body.ops_without_terminator()
+    return len(body_ops) == 1 and body_ops[0] is inner
+
+
+class AffineDialect(Dialect):
+    NAME = "affine"

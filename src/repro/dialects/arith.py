@@ -1,0 +1,376 @@
+"""``arith`` dialect: integer, index and floating-point arithmetic.
+
+All operations are pure; most implement ``fold`` so the canonicalizer and the
+host-device constant propagation (paper, Section VII-B) can simplify code
+once constants are known.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..ir import (
+    Attribute,
+    BoolAttr,
+    Dialect,
+    FloatAttr,
+    FloatType,
+    IndexType,
+    IntegerAttr,
+    IntegerType,
+    Operation,
+    StringAttr,
+    Trait,
+    Type,
+    Value,
+    i1,
+    is_float,
+    is_integer,
+    register_op,
+)
+
+
+def _const_value(value: Value):
+    """Return the python constant behind ``value`` if it is constant-like."""
+    defining = value.defining_op()
+    if defining is None:
+        return None
+    if isinstance(defining, ConstantOp):
+        return defining.value
+    return None
+
+
+@register_op
+class ConstantOp(Operation):
+    """Materializes an integer, index, float or boolean constant."""
+
+    OPERATION_NAME = "arith.constant"
+    TRAITS = frozenset({Trait.PURE, Trait.CONSTANT_LIKE})
+
+    @classmethod
+    def build(cls, value, type_: Type) -> "ConstantOp":
+        if isinstance(type_, FloatType):
+            attr: Attribute = FloatAttr(float(value), type_)
+        elif isinstance(type_, IntegerType) and type_.width == 1:
+            attr = BoolAttr(bool(value))
+        else:
+            attr = IntegerAttr(int(value), type_)
+        return cls(operands=(), result_types=(type_,), attributes={"value": attr})
+
+    @property
+    def value(self):
+        attr = self.attributes["value"]
+        if isinstance(attr, (IntegerAttr, FloatAttr)):
+            return attr.value
+        if isinstance(attr, BoolAttr):
+            return attr.value
+        raise TypeError(f"unexpected constant attribute {attr!r}")
+
+    def fold(self):
+        return [self.attributes["value"]]
+
+
+class _BinaryOp(Operation):
+    """Shared implementation for binary element-wise arithmetic."""
+
+    TRAITS = frozenset({Trait.PURE})
+    PY_FUNC = None
+
+    @classmethod
+    def build(cls, lhs: Value, rhs: Value,
+              result_type: Optional[Type] = None) -> "_BinaryOp":
+        return cls(operands=(lhs, rhs),
+                   result_types=(result_type or lhs.type,))
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def _compute(self, a, b):
+        raise NotImplementedError
+
+    def fold(self):
+        a = _const_value(self.operands[0])
+        b = _const_value(self.operands[1])
+        if a is None or b is None:
+            return None
+        try:
+            result = self._compute(a, b)
+        except ZeroDivisionError:
+            return None
+        type_ = self.results[0].type
+        if is_float(type_):
+            return [FloatAttr(float(result), type_)]
+        return [IntegerAttr(int(result), type_)]
+
+
+def _int_binop(name: str, func, commutative: bool = False,
+               identity: Optional[int] = None):
+    """Factory for integer/index binary operations."""
+
+    traits = {Trait.PURE}
+    if commutative:
+        traits.add(Trait.COMMUTATIVE)
+
+    @register_op
+    class _Op(_BinaryOp):
+        OPERATION_NAME = name
+        TRAITS = frozenset(traits)
+        IDENTITY = identity
+
+        def _compute(self, a, b):
+            return func(a, b)
+
+    _Op.__name__ = name.split(".")[-1].capitalize() + "Op"
+    return _Op
+
+
+def _float_binop(name: str, func, commutative: bool = False,
+                 identity: Optional[float] = None):
+    traits = {Trait.PURE}
+    if commutative:
+        traits.add(Trait.COMMUTATIVE)
+
+    @register_op
+    class _Op(_BinaryOp):
+        OPERATION_NAME = name
+        TRAITS = frozenset(traits)
+        IDENTITY = identity
+
+        def _compute(self, a, b):
+            return func(a, b)
+
+    _Op.__name__ = name.split(".")[-1].capitalize() + "Op"
+    return _Op
+
+
+def _floordiv(a, b):
+    return int(a / b) if (a < 0) != (b < 0) and a % b != 0 else a // b
+
+
+AddIOp = _int_binop("arith.addi", lambda a, b: a + b, commutative=True, identity=0)
+SubIOp = _int_binop("arith.subi", lambda a, b: a - b)
+MulIOp = _int_binop("arith.muli", lambda a, b: a * b, commutative=True, identity=1)
+DivSIOp = _int_binop("arith.divsi", _floordiv)
+DivUIOp = _int_binop("arith.divui", lambda a, b: a // b)
+RemSIOp = _int_binop("arith.remsi", lambda a, b: math.fmod(a, b) if False else a - _floordiv(a, b) * b)
+RemUIOp = _int_binop("arith.remui", lambda a, b: a % b)
+AndIOp = _int_binop("arith.andi", lambda a, b: a & b, commutative=True)
+OrIOp = _int_binop("arith.ori", lambda a, b: a | b, commutative=True)
+XOrIOp = _int_binop("arith.xori", lambda a, b: a ^ b, commutative=True)
+ShLIOp = _int_binop("arith.shli", lambda a, b: a << b)
+ShRSIOp = _int_binop("arith.shrsi", lambda a, b: a >> b)
+MinSIOp = _int_binop("arith.minsi", min, commutative=True)
+MaxSIOp = _int_binop("arith.maxsi", max, commutative=True)
+
+AddFOp = _float_binop("arith.addf", lambda a, b: a + b, commutative=True, identity=0.0)
+SubFOp = _float_binop("arith.subf", lambda a, b: a - b)
+MulFOp = _float_binop("arith.mulf", lambda a, b: a * b, commutative=True, identity=1.0)
+DivFOp = _float_binop("arith.divf", lambda a, b: a / b)
+RemFOp = _float_binop("arith.remf", math.fmod)
+MinFOp = _float_binop("arith.minf", min, commutative=True)
+MaxFOp = _float_binop("arith.maxf", max, commutative=True)
+
+
+#: Comparison predicates follow MLIR's arith.cmpi/cmpf spelling.
+_INT_PREDICATES = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+
+_FLOAT_PREDICATES = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+    "ueq": lambda a, b: a == b,
+    "une": lambda a, b: a != b,
+    "ult": lambda a, b: a < b,
+    "ugt": lambda a, b: a > b,
+}
+
+
+@register_op
+class CmpIOp(Operation):
+    OPERATION_NAME = "arith.cmpi"
+    TRAITS = frozenset({Trait.PURE})
+    PREDICATES = _INT_PREDICATES
+
+    @classmethod
+    def build(cls, predicate: str, lhs: Value, rhs: Value) -> "CmpIOp":
+        if predicate not in cls.PREDICATES:
+            raise ValueError(f"unknown cmpi predicate {predicate!r}")
+        return cls(operands=(lhs, rhs), result_types=(i1(),),
+                   attributes={"predicate": StringAttr(predicate)})
+
+    @property
+    def predicate(self) -> str:
+        return self.get_str_attr("predicate", "eq")
+
+    def fold(self):
+        a = _const_value(self.operands[0])
+        b = _const_value(self.operands[1])
+        if a is None or b is None:
+            return None
+        return [BoolAttr(self.PREDICATES[self.predicate](a, b))]
+
+
+@register_op
+class CmpFOp(CmpIOp):
+    OPERATION_NAME = "arith.cmpf"
+    PREDICATES = _FLOAT_PREDICATES
+
+
+@register_op
+class SelectOp(Operation):
+    OPERATION_NAME = "arith.select"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, condition: Value, true_value: Value,
+              false_value: Value) -> "SelectOp":
+        return cls(operands=(condition, true_value, false_value),
+                   result_types=(true_value.type,))
+
+    def fold(self):
+        cond = _const_value(self.operands[0])
+        if cond is None:
+            return None
+        return [self.operands[1] if cond else self.operands[2]]
+
+
+class _CastOp(Operation):
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "_CastOp":
+        return cls(operands=(value,), result_types=(result_type,))
+
+    def _convert(self, value):
+        raise NotImplementedError
+
+    def fold(self):
+        value = _const_value(self.operands[0])
+        if value is None:
+            return None
+        converted = self._convert(value)
+        type_ = self.results[0].type
+        if is_float(type_):
+            return [FloatAttr(float(converted), type_)]
+        if isinstance(type_, IntegerType) and type_.width == 1:
+            return [BoolAttr(bool(converted))]
+        return [IntegerAttr(int(converted), type_)]
+
+
+@register_op
+class IndexCastOp(_CastOp):
+    OPERATION_NAME = "arith.index_cast"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class ExtSIOp(_CastOp):
+    OPERATION_NAME = "arith.extsi"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class TruncIOp(_CastOp):
+    OPERATION_NAME = "arith.trunci"
+
+    def _convert(self, value):
+        width = self.results[0].type.width
+        return int(value) & ((1 << width) - 1)
+
+
+@register_op
+class SIToFPOp(_CastOp):
+    OPERATION_NAME = "arith.sitofp"
+
+    def _convert(self, value):
+        return float(value)
+
+
+@register_op
+class FPToSIOp(_CastOp):
+    OPERATION_NAME = "arith.fptosi"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class ExtFOp(_CastOp):
+    OPERATION_NAME = "arith.extf"
+
+    def _convert(self, value):
+        return float(value)
+
+
+@register_op
+class TruncFOp(_CastOp):
+    OPERATION_NAME = "arith.truncf"
+
+    def _convert(self, value):
+        return float(value)
+
+
+@register_op
+class NegFOp(Operation):
+    OPERATION_NAME = "arith.negf"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value) -> "NegFOp":
+        return cls(operands=(value,), result_types=(value.type,))
+
+    def fold(self):
+        value = _const_value(self.operands[0])
+        if value is None:
+            return None
+        return [FloatAttr(-float(value), self.results[0].type)]
+
+
+def constant_int(value: int, type_: Optional[Type] = None) -> ConstantOp:
+    """Convenience builder for integer constants (defaults to ``index``)."""
+    return ConstantOp.build(value, type_ or IndexType())
+
+
+def constant_float(value: float, type_: Optional[Type] = None) -> ConstantOp:
+    return ConstantOp.build(value, type_ or FloatType(32))
+
+
+def constant_bool(value: bool) -> ConstantOp:
+    return ConstantOp.build(bool(value), i1())
+
+
+def is_constant(value: Value) -> bool:
+    return _const_value(value) is not None
+
+
+def constant_value_of(value: Value):
+    """Python constant behind ``value`` or None."""
+    return _const_value(value)
+
+
+class ArithDialect(Dialect):
+    NAME = "arith"

@@ -1,0 +1,265 @@
+"""``llvm`` dialect subset.
+
+The host side of a DPC++ compilation arrives as LLVM IR and is translated
+into the MLIR LLVM dialect (paper, Fig. 1, via ``mlir-translate``).  This
+module models the subset of that dialect needed to express DPC++ host code
+for SYCL command groups: functions, calls into the SYCL runtime, stack
+allocations of SYCL objects, loads/stores and constants.  The host raising
+pass (``repro.transforms.host_raising``) pattern-matches these operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import (
+    Block,
+    CallOpInterface,
+    Dialect,
+    FloatAttr,
+    FloatType,
+    FunctionType,
+    IntegerAttr,
+    IntegerType,
+    MemoryEffect,
+    MemoryEffectsInterface,
+    Operation,
+    PointerType,
+    StringAttr,
+    Trait,
+    Type,
+    TypeAttr,
+    Value,
+    register_op,
+)
+from ..ir.attributes import DenseElementsAttr
+from ..ir.interfaces import allocate, read, write
+
+
+@register_op
+class LLVMFuncOp(Operation):
+    """An LLVM-dialect function (host code)."""
+
+    OPERATION_NAME = "llvm.func"
+    TRAITS = frozenset({Trait.SYMBOL, Trait.ISOLATED_FROM_ABOVE})
+
+    @classmethod
+    def build(cls, name: str, arg_types: Sequence[Type],
+              result_types: Sequence[Type] = (),
+              arg_names: Optional[Sequence[str]] = None,
+              is_declaration: bool = False) -> "LLVMFuncOp":
+        func_type = FunctionType(tuple(arg_types), tuple(result_types))
+        op = cls(
+            operands=(),
+            result_types=(),
+            attributes={
+                "sym_name": StringAttr(name),
+                "function_type": TypeAttr(func_type),
+            },
+            regions=1,
+        )
+        if not is_declaration:
+            entry = Block(arg_types, arg_names)
+            op.regions[0].add_block(entry)
+        return op
+
+    @property
+    def sym_name(self) -> str:
+        return self.get_str_attr("sym_name", "")
+
+    @property
+    def function_type(self) -> FunctionType:
+        attr = self.attributes["function_type"]
+        assert isinstance(attr, TypeAttr)
+        return attr.value  # type: ignore[return-value]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.regions or self.regions[0].empty
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].front
+
+    @property
+    def arguments(self):
+        return self.body.arguments
+
+
+@register_op
+class LLVMReturnOp(Operation):
+    OPERATION_NAME = "llvm.return"
+    TRAITS = frozenset({Trait.TERMINATOR, Trait.PURE})
+
+    @classmethod
+    def build(cls, values: Sequence[Value] = ()) -> "LLVMReturnOp":
+        return cls(operands=tuple(values))
+
+
+@register_op
+class LLVMCallOp(Operation, CallOpInterface):
+    """A call, usually into the (mangled) SYCL runtime."""
+
+    OPERATION_NAME = "llvm.call"
+
+    @classmethod
+    def build(cls, callee: str, args: Sequence[Value],
+              result_types: Sequence[Type] = ()) -> "LLVMCallOp":
+        return cls(operands=tuple(args), result_types=tuple(result_types),
+                   attributes={"callee": StringAttr(callee)})
+
+    def callee_name(self) -> Optional[str]:
+        return self.get_str_attr("callee")
+
+    def call_arguments(self) -> Sequence[Value]:
+        return self.operands
+
+
+@register_op
+class LLVMConstantOp(Operation):
+    OPERATION_NAME = "llvm.mlir.constant"
+    TRAITS = frozenset({Trait.PURE, Trait.CONSTANT_LIKE})
+
+    @classmethod
+    def build(cls, value, type_: Type) -> "LLVMConstantOp":
+        if isinstance(type_, FloatType):
+            attr = FloatAttr(float(value), type_)
+        else:
+            attr = IntegerAttr(int(value), type_)
+        return cls(operands=(), result_types=(type_,), attributes={"value": attr})
+
+    @property
+    def value(self):
+        attr = self.attributes["value"]
+        return attr.value
+
+    def fold(self):
+        return [self.attributes["value"]]
+
+
+@register_op
+class LLVMUndefOp(Operation):
+    OPERATION_NAME = "llvm.mlir.undef"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, type_: Type) -> "LLVMUndefOp":
+        return cls(operands=(), result_types=(type_,))
+
+
+@register_op
+class LLVMAllocaOp(Operation, MemoryEffectsInterface):
+    """Stack allocation of a host object (SYCL buffer/accessor/range...)."""
+
+    OPERATION_NAME = "llvm.alloca"
+
+    @classmethod
+    def build(cls, size: Value, object_name: Optional[str] = None) -> "LLVMAllocaOp":
+        attrs = {}
+        if object_name is not None:
+            attrs["object"] = StringAttr(object_name)
+        return cls(operands=(size,), result_types=(PointerType(),),
+                   attributes=attrs)
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [allocate(self.results[0])]
+
+
+@register_op
+class LLVMLoadOp(Operation, MemoryEffectsInterface):
+    OPERATION_NAME = "llvm.load"
+
+    @classmethod
+    def build(cls, pointer: Value, result_type: Type) -> "LLVMLoadOp":
+        return cls(operands=(pointer,), result_types=(result_type,))
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [read(self.pointer)]
+
+
+@register_op
+class LLVMStoreOp(Operation, MemoryEffectsInterface):
+    OPERATION_NAME = "llvm.store"
+
+    @classmethod
+    def build(cls, value: Value, pointer: Value) -> "LLVMStoreOp":
+        return cls(operands=(value, pointer))
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [write(self.pointer)]
+
+
+@register_op
+class LLVMGEPOp(Operation):
+    """Pointer arithmetic (``getelementptr``)."""
+
+    OPERATION_NAME = "llvm.getelementptr"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, base: Value, indices: Sequence[Value] = (),
+              static_offsets: Sequence[int] = ()) -> "LLVMGEPOp":
+        op = cls(operands=(base, *indices), result_types=(PointerType(),))
+        op.static_offsets = [int(i) for i in static_offsets]
+        return op
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+
+@register_op
+class LLVMBitcastOp(Operation):
+    OPERATION_NAME = "llvm.bitcast"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "LLVMBitcastOp":
+        return cls(operands=(value,), result_types=(result_type,))
+
+
+@register_op
+class LLVMGlobalOp(Operation):
+    """Module-level global constant (e.g. a host-side filter array)."""
+
+    OPERATION_NAME = "llvm.mlir.global"
+    TRAITS = frozenset({Trait.SYMBOL})
+
+    @classmethod
+    def build(cls, name: str, value: Optional[DenseElementsAttr] = None,
+              constant: bool = True) -> "LLVMGlobalOp":
+        attrs = {"sym_name": StringAttr(name)}
+        if value is not None:
+            attrs["value"] = value
+        if constant:
+            from ..ir import UnitAttr
+
+            attrs["constant"] = UnitAttr()
+        return cls(operands=(), result_types=(), attributes=attrs)
+
+
+@register_op
+class LLVMAddressOfOp(Operation):
+    OPERATION_NAME = "llvm.mlir.addressof"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, global_name: str) -> "LLVMAddressOfOp":
+        return cls(operands=(), result_types=(PointerType(),),
+                   attributes={"global_name": StringAttr(global_name)})
+
+
+class LLVMDialect(Dialect):
+    NAME = "llvm"

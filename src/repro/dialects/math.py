@@ -1,0 +1,105 @@
+"""``math`` dialect: transcendental and other scalar math functions."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from ..ir import Dialect, FloatAttr, Operation, Trait, Value, register_op
+from .arith import constant_value_of
+
+
+class _UnaryMathOp(Operation):
+    TRAITS = frozenset({Trait.PURE})
+    PY_FUNC: Callable[[float], float] = staticmethod(lambda x: x)
+
+    @classmethod
+    def build(cls, value: Value) -> "_UnaryMathOp":
+        return cls(operands=(value,), result_types=(value.type,))
+
+    def fold(self):
+        value = constant_value_of(self.operands[0])
+        if value is None:
+            return None
+        try:
+            result = type(self).PY_FUNC(float(value))
+        except (ValueError, OverflowError):
+            return None
+        return [FloatAttr(result, self.results[0].type)]
+
+
+def _unary(name: str, func: Callable[[float], float]):
+    @register_op
+    class _Op(_UnaryMathOp):
+        OPERATION_NAME = name
+        PY_FUNC = staticmethod(func)
+
+    _Op.__name__ = name.split(".")[-1].capitalize() + "Op"
+    return _Op
+
+
+SqrtOp = _unary("math.sqrt", math.sqrt)
+RsqrtOp = _unary("math.rsqrt", lambda x: 1.0 / math.sqrt(x))
+ExpOp = _unary("math.exp", math.exp)
+LogOp = _unary("math.log", math.log)
+SinOp = _unary("math.sin", math.sin)
+CosOp = _unary("math.cos", math.cos)
+AbsFOp = _unary("math.absf", abs)
+FloorOp = _unary("math.floor", math.floor)
+CeilOp = _unary("math.ceil", math.ceil)
+TanhOp = _unary("math.tanh", math.tanh)
+
+
+@register_op
+class PowFOp(Operation):
+    OPERATION_NAME = "math.powf"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, base: Value, exponent: Value) -> "PowFOp":
+        return cls(operands=(base, exponent), result_types=(base.type,))
+
+    def fold(self):
+        base = constant_value_of(self.operands[0])
+        exponent = constant_value_of(self.operands[1])
+        if base is None or exponent is None:
+            return None
+        return [FloatAttr(float(base) ** float(exponent), self.results[0].type)]
+
+
+@register_op
+class FmaOp(Operation):
+    """Fused multiply-add ``a * b + c``."""
+
+    OPERATION_NAME = "math.fma"
+    TRAITS = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, a: Value, b: Value, c: Value) -> "FmaOp":
+        return cls(operands=(a, b, c), result_types=(a.type,))
+
+    def fold(self):
+        values = [constant_value_of(v) for v in self.operands]
+        if any(v is None for v in values):
+            return None
+        a, b, c = (float(v) for v in values)
+        return [FloatAttr(a * b + c, self.results[0].type)]
+
+
+#: Mapping used by the interpreter to evaluate unary math operations.
+UNARY_EVALUATORS: Dict[str, Callable[[float], float]] = {
+    "math.sqrt": math.sqrt,
+    "math.rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "math.exp": math.exp,
+    "math.log": math.log,
+    "math.sin": math.sin,
+    "math.cos": math.cos,
+    "math.absf": abs,
+    "math.floor": math.floor,
+    "math.ceil": math.ceil,
+    "math.tanh": math.tanh,
+}
+
+
+class MathDialect(Dialect):
+    NAME = "math"

@@ -1,0 +1,210 @@
+"""``scf`` dialect: structured control flow (loops and conditionals)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import (
+    Block,
+    Dialect,
+    IndexType,
+    LoopLikeInterface,
+    Operation,
+    Trait,
+    Type,
+    Value,
+    register_op,
+)
+from .arith import constant_value_of
+
+
+@register_op
+class YieldOp(Operation):
+    """Terminator yielding values from an ``scf`` region."""
+
+    OPERATION_NAME = "scf.yield"
+    TRAITS = frozenset({Trait.TERMINATOR, Trait.PURE})
+
+    @classmethod
+    def build(cls, values: Sequence[Value] = ()) -> "YieldOp":
+        return cls(operands=tuple(values))
+
+
+@register_op
+class ForOp(Operation, LoopLikeInterface):
+    """Counted loop ``for %iv = %lb to %ub step %step iter_args(...)``."""
+
+    OPERATION_NAME = "scf.for"
+    TRAITS = frozenset({Trait.SINGLE_BLOCK, Trait.LOOP_LIKE})
+
+    @classmethod
+    def build(cls, lower: Value, upper: Value, step: Value,
+              iter_args: Sequence[Value] = ()) -> "ForOp":
+        result_types = tuple(v.type for v in iter_args)
+        op = cls(operands=(lower, upper, step, *iter_args),
+                 result_types=result_types, regions=1)
+        body = Block([IndexType(), *[v.type for v in iter_args]],
+                     ["iv"] + [f"iter{i}" for i in range(len(iter_args))])
+        op.regions[0].add_block(body)
+        return op
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def lower_bound(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def init_args(self) -> Sequence[Value]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].front
+
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def region_iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    def loop_body(self) -> Block:
+        return self.body
+
+    def loop_bounds(self):
+        return (self.lower_bound, self.upper_bound, self.step)
+
+    def constant_trip_count(self) -> Optional[int]:
+        lb = constant_value_of(self.lower_bound)
+        ub = constant_value_of(self.upper_bound)
+        step = constant_value_of(self.step)
+        if lb is None or ub is None or step is None or step <= 0:
+            return None
+        return max(0, -(-(ub - lb) // step))
+
+    def yielded_values(self) -> Sequence[Value]:
+        terminator = self.body.terminator
+        return terminator.operands if terminator is not None else ()
+
+
+@register_op
+class IfOp(Operation):
+    """Conditional with a then region and an optional else region."""
+
+    OPERATION_NAME = "scf.if"
+    TRAITS = frozenset({Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(cls, condition: Value, result_types: Sequence[Type] = (),
+              with_else: bool = False) -> "IfOp":
+        op = cls(operands=(condition,), result_types=tuple(result_types),
+                 regions=2 if with_else or result_types else 1)
+        op.regions[0].add_block(Block())
+        if len(op.regions) > 1:
+            op.regions[1].add_block(Block())
+        return op
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].front
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        if len(self.regions) < 2 or self.regions[1].empty:
+            return None
+        return self.regions[1].front
+
+    def has_else(self) -> bool:
+        return self.else_block is not None
+
+
+@register_op
+class WhileOp(Operation):
+    """General while loop with a condition ("before") and body ("after") region."""
+
+    OPERATION_NAME = "scf.while"
+    TRAITS = frozenset({Trait.LOOP_LIKE})
+
+    @classmethod
+    def build(cls, init_args: Sequence[Value],
+              result_types: Sequence[Type]) -> "WhileOp":
+        op = cls(operands=tuple(init_args), result_types=tuple(result_types),
+                 regions=2)
+        op.regions[0].add_block(Block([v.type for v in init_args]))
+        op.regions[1].add_block(Block(list(result_types)))
+        return op
+
+    @property
+    def before_block(self) -> Block:
+        return self.regions[0].front
+
+    @property
+    def after_block(self) -> Block:
+        return self.regions[1].front
+
+
+@register_op
+class ConditionOp(Operation):
+    """Terminator of the "before" region of ``scf.while``."""
+
+    OPERATION_NAME = "scf.condition"
+    TRAITS = frozenset({Trait.TERMINATOR, Trait.PURE})
+
+    @classmethod
+    def build(cls, condition: Value, args: Sequence[Value] = ()) -> "ConditionOp":
+        return cls(operands=(condition, *args))
+
+
+@register_op
+class ParallelOp(Operation, LoopLikeInterface):
+    """Parallel loop nest (used when lowering ND-range execution)."""
+
+    OPERATION_NAME = "scf.parallel"
+    TRAITS = frozenset({Trait.SINGLE_BLOCK, Trait.LOOP_LIKE})
+
+    @classmethod
+    def build(cls, lowers: Sequence[Value], uppers: Sequence[Value],
+              steps: Sequence[Value]) -> "ParallelOp":
+        rank = len(lowers)
+        op = cls(operands=(*lowers, *uppers, *steps), regions=1)
+        op.regions[0].add_block(
+            Block([IndexType()] * rank, [f"iv{i}" for i in range(rank)]))
+        op.rank = rank
+        return op
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].front
+
+    def loop_body(self) -> Block:
+        return self.body
+
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    def loop_bounds(self):
+        rank = getattr(self, "rank", len(self.body.arguments))
+        return (self.operands[:rank], self.operands[rank:2 * rank],
+                self.operands[2 * rank:3 * rank])
+
+
+def loop_ops() -> List[str]:
+    """Names of loop-like scf operations (used by generic analyses)."""
+    return [ForOp.OPERATION_NAME, WhileOp.OPERATION_NAME,
+            ParallelOp.OPERATION_NAME]
+
+
+class SCFDialect(Dialect):
+    NAME = "scf"

@@ -1,0 +1,646 @@
+"""The SYCL dialect (the paper's primary contribution, Sections III-IV).
+
+The dialect models key entities of the SYCL programming model:
+
+* **Device-side types**: ``id``, ``range``, ``item``, ``nd_item``, ``group``,
+  ``nd_range`` and ``accessor`` / ``local_accessor`` become MLIR types, so
+  kernels keep the SYCL class structure instead of lowering to raw pointers.
+* **Device-side operations**: queries of the work-item position
+  (``sycl.nd_item.get_global_id``, ``sycl.item.get_id``, ...), accessor
+  element access (``sycl.accessor.subscript``), SYCL object construction
+  (``sycl.constructor``) and work-group barriers (``sycl.group_barrier``).
+* **Host-side operations**: construction of SYCL runtime objects
+  (``sycl.host.constructor``) and kernel scheduling
+  (``sycl.host.schedule_kernel``), produced by the host raising pass.
+
+Traits mark known sources of (non-)uniformity so that the uniformity
+analysis (Section V-C) stays dialect agnostic, and memory-effect interfaces
+give the reaching-definition analysis and LICM precise semantics for each
+operation (Sections V-B, VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir import (
+    ArrayAttr,
+    Dialect,
+    DYNAMIC,
+    IndexType,
+    IntegerAttr,
+    MemoryEffect,
+    MemoryEffectsInterface,
+    MemRefType,
+    Operation,
+    StringAttr,
+    SymbolRefAttr,
+    Trait,
+    Type,
+    Value,
+    i64,
+    register_op,
+)
+from ..ir.interfaces import read, write
+
+
+# ---------------------------------------------------------------------------
+# SYCL dialect types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IDType(Type):
+    """``sycl::id<D>`` — a D-dimensional index."""
+
+    dimensions: int
+
+    def __str__(self) -> str:
+        return f"!sycl_id_{self.dimensions}"
+
+
+@dataclass(frozen=True)
+class RangeType(Type):
+    """``sycl::range<D>`` — a D-dimensional extent."""
+
+    dimensions: int
+
+    def __str__(self) -> str:
+        return f"!sycl_range_{self.dimensions}"
+
+
+@dataclass(frozen=True)
+class ItemType(Type):
+    """``sycl::item<D>`` — position of a work-item in a simple range."""
+
+    dimensions: int
+    with_offset: bool = True
+
+    def __str__(self) -> str:
+        return f"!sycl_item_{self.dimensions}"
+
+
+@dataclass(frozen=True)
+class NDItemType(Type):
+    """``sycl::nd_item<D>`` — position within an ND-range."""
+
+    dimensions: int
+
+    def __str__(self) -> str:
+        return f"!sycl_nd_item_{self.dimensions}"
+
+
+@dataclass(frozen=True)
+class GroupType(Type):
+    """``sycl::group<D>`` — the enclosing work-group."""
+
+    dimensions: int
+
+    def __str__(self) -> str:
+        return f"!sycl_group_{self.dimensions}"
+
+
+@dataclass(frozen=True)
+class NDRangeType(Type):
+    """``sycl::nd_range<D>`` — global + local iteration space."""
+
+    dimensions: int
+
+    def __str__(self) -> str:
+        return f"!sycl_nd_range_{self.dimensions}"
+
+
+#: Accessor access modes (subset of the SYCL 2020 access modes).
+ACCESS_MODES = ("read", "write", "read_write")
+
+#: Accessor targets: device global memory or work-group local memory.
+ACCESS_TARGETS = ("device", "local")
+
+
+@dataclass(frozen=True)
+class AccessorType(Type):
+    """``sycl::accessor<T, D, mode, target>``.
+
+    The accessor is the heavy SYCL object described in Section II-A: it
+    carries the data pointer, the full (memory) range, an access range and
+    an offset.  Those members are observable through the
+    ``sycl.accessor.get_*`` operations below.
+    """
+
+    dimensions: int
+    element_type: Type
+    access_mode: str = "read_write"
+    target: str = "device"
+
+    def __post_init__(self):
+        if self.access_mode not in ACCESS_MODES:
+            raise ValueError(f"invalid access mode {self.access_mode!r}")
+        if self.target not in ACCESS_TARGETS:
+            raise ValueError(f"invalid accessor target {self.target!r}")
+
+    def __str__(self) -> str:
+        suffix = "_local" if self.target == "local" else ""
+        return (f"!sycl_accessor_{self.dimensions}_"
+                f"{self.element_type}_{self.access_mode}{suffix}")
+
+    @property
+    def is_local(self) -> bool:
+        return self.target == "local"
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.access_mode == "read"
+
+    @property
+    def is_write_only(self) -> bool:
+        return self.access_mode == "write"
+
+
+def local_accessor_type(dimensions: int, element_type: Type) -> AccessorType:
+    """``sycl::local_accessor<T, D>`` (an accessor targeting local memory)."""
+    return AccessorType(dimensions, element_type, "read_write", "local")
+
+
+@dataclass(frozen=True)
+class BufferType(Type):
+    """``sycl::buffer<T, D>`` (host side)."""
+
+    dimensions: int
+    element_type: Type
+
+    def __str__(self) -> str:
+        return f"!sycl_buffer_{self.dimensions}_{self.element_type}"
+
+
+@dataclass(frozen=True)
+class QueueType(Type):
+    def __str__(self) -> str:
+        return "!sycl_queue"
+
+
+@dataclass(frozen=True)
+class HandlerType(Type):
+    def __str__(self) -> str:
+        return "!sycl_handler"
+
+
+def memref_of(type_: Type, size: int = DYNAMIC) -> MemRefType:
+    """Helper: ``memref<?x!sycl_...>`` used to pass SYCL objects by reference."""
+    return MemRefType((size,), type_)
+
+
+# ---------------------------------------------------------------------------
+# Device-side operations
+# ---------------------------------------------------------------------------
+
+@register_op
+class SYCLConstructorOp(Operation, MemoryEffectsInterface):
+    """Constructs a SYCL object (id, range, ...) into a memref.
+
+    Mirrors ``sycl.constructor @id (%out, %i, %j, %k)`` in Listing 3.
+    """
+
+    OPERATION_NAME = "sycl.constructor"
+
+    @classmethod
+    def build(cls, type_name: str, destination: Value,
+              args: Sequence[Value]) -> "SYCLConstructorOp":
+        return cls(operands=(destination, *args),
+                   attributes={"type": SymbolRefAttr(type_name)})
+
+    @property
+    def destination(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def arguments(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+    @property
+    def constructed_type(self) -> str:
+        attr = self.attributes["type"]
+        assert isinstance(attr, SymbolRefAttr)
+        return attr.root
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [write(self.destination)]
+
+
+class _QueryOpBase(Operation, MemoryEffectsInterface):
+    """Base for ``<object>.get_*(obj, dim)`` style query operations.
+
+    The queried SYCL objects (items, nd_items, groups, accessors) are
+    immutable inside device code — no SYCL dialect operation writes them —
+    so queries are modelled as having no memory effects.  This is what lets
+    LICM hoist them and CSE deduplicate them (paper, Section VI-A).
+    """
+
+    RESULT_TYPE: Type = IndexType()
+
+    @classmethod
+    def build(cls, source: Value, dimension: Optional[Value] = None):
+        operands = (source,) if dimension is None else (source, dimension)
+        return cls(operands=operands, result_types=(cls.RESULT_TYPE,))
+
+    @property
+    def source(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def dimension(self) -> Optional[Value]:
+        return self.operands[1] if len(self.operands) > 1 else None
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return []
+
+
+def _query_op(name: str, *, uniform: Optional[bool],
+              result_type: Type = IndexType()):
+    """Factory for query operations.
+
+    ``uniform`` is ``True`` for work-group-uniform results, ``False`` for
+    known non-uniform results (per-work-item ids) and ``None`` when
+    uniformity follows from operands only.
+    """
+    traits = set()
+    if uniform is True:
+        traits.add(Trait.UNIFORM_SOURCE)
+    elif uniform is False:
+        traits.add(Trait.NON_UNIFORM_SOURCE)
+
+    @register_op
+    class _Op(_QueryOpBase):
+        OPERATION_NAME = name
+        TRAITS = frozenset(traits)
+        RESULT_TYPE = result_type
+
+    _Op.__name__ = "SYCL" + "".join(
+        part.capitalize() for part in name.replace("sycl.", "").split("_" ) if part
+    ).replace(".", "") + "Op"
+    return _Op
+
+
+# id / range element access -------------------------------------------------
+SYCLIDGetOp = _query_op("sycl.id.get", uniform=None)
+SYCLRangeGetOp = _query_op("sycl.range.get", uniform=None)
+SYCLRangeSizeOp = _query_op("sycl.range.size", uniform=None)
+
+# item queries ----------------------------------------------------------------
+SYCLItemGetIDOp = _query_op("sycl.item.get_id", uniform=False)
+SYCLItemGetLinearIDOp = _query_op("sycl.item.get_linear_id", uniform=False)
+SYCLItemGetRangeOp = _query_op("sycl.item.get_range", uniform=True)
+
+# nd_item queries -------------------------------------------------------------
+SYCLNDItemGetGlobalIDOp = _query_op("sycl.nd_item.get_global_id", uniform=False)
+SYCLNDItemGetGlobalLinearIDOp = _query_op(
+    "sycl.nd_item.get_global_linear_id", uniform=False)
+SYCLNDItemGetLocalIDOp = _query_op("sycl.nd_item.get_local_id", uniform=False)
+SYCLNDItemGetLocalLinearIDOp = _query_op(
+    "sycl.nd_item.get_local_linear_id", uniform=False)
+SYCLNDItemGetGroupIDOp = _query_op("sycl.nd_item.get_group_id", uniform=True)
+SYCLNDItemGetGlobalRangeOp = _query_op(
+    "sycl.nd_item.get_global_range", uniform=True)
+SYCLNDItemGetLocalRangeOp = _query_op(
+    "sycl.nd_item.get_local_range", uniform=True)
+SYCLNDItemGetGroupRangeOp = _query_op(
+    "sycl.nd_item.get_group_range", uniform=True)
+
+# group queries ---------------------------------------------------------------
+SYCLGroupGetGroupIDOp = _query_op("sycl.group.get_group_id", uniform=True)
+SYCLGroupGetLocalRangeOp = _query_op("sycl.group.get_local_range", uniform=True)
+SYCLGroupGetGroupRangeOp = _query_op("sycl.group.get_group_range", uniform=True)
+
+
+@register_op
+class SYCLNDItemGetGroupOp(Operation, MemoryEffectsInterface):
+    """Returns the ``sycl::group`` of an ``nd_item`` (Listing 7, line 12)."""
+
+    OPERATION_NAME = "sycl.nd_item.get_group"
+    TRAITS = frozenset({Trait.UNIFORM_SOURCE})
+
+    @classmethod
+    def build(cls, nd_item: Value, dimensions: int = 1) -> "SYCLNDItemGetGroupOp":
+        return cls(operands=(nd_item,),
+                   result_types=(GroupType(dimensions),),
+                   attributes={"dimensions": IntegerAttr(dimensions, i64())})
+
+    @property
+    def nd_item(self) -> Value:
+        return self.operands[0]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return []
+
+
+# accessor operations ---------------------------------------------------------
+
+@register_op
+class SYCLAccessorSubscriptOp(Operation, MemoryEffectsInterface):
+    """``accessor[id]`` — yields a memref view of the addressed element.
+
+    The result is a rank-1 dynamically-sized memref whose element 0 is the
+    addressed element (matching Listing 3, lines 20-23).  Loads/stores go
+    through ``affine.load`` / ``memref.load`` on the result.
+    """
+
+    OPERATION_NAME = "sycl.accessor.subscript"
+
+    @classmethod
+    def build(cls, accessor: Value, index: Value) -> "SYCLAccessorSubscriptOp":
+        accessor_type = _accessor_type_of(accessor)
+        space = "local" if accessor_type is not None and accessor_type.is_local \
+            else "global"
+        element = accessor_type.element_type if accessor_type is not None \
+            else IndexType()
+        result = MemRefType((DYNAMIC,), element, space)
+        return cls(operands=(accessor, index), result_types=(result,))
+
+    @property
+    def accessor(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        # Computing the address reads the id object; the accessor metadata is
+        # immutable in device code, and the actual element access is
+        # performed by the load/store on the result.
+        return [read(self.index)]
+
+
+@register_op
+class SYCLAccessorGetRangeOp(_QueryOpBase):
+    """Access range of an accessor in one dimension."""
+
+    OPERATION_NAME = "sycl.accessor.get_range"
+    TRAITS = frozenset({Trait.UNIFORM_SOURCE})
+
+
+@register_op
+class SYCLAccessorGetMemRangeOp(_QueryOpBase):
+    """Underlying buffer (memory) range of an accessor in one dimension."""
+
+    OPERATION_NAME = "sycl.accessor.get_mem_range"
+    TRAITS = frozenset({Trait.UNIFORM_SOURCE})
+
+
+@register_op
+class SYCLAccessorGetOffsetOp(_QueryOpBase):
+    """Offset of a (ranged) accessor in one dimension."""
+
+    OPERATION_NAME = "sycl.accessor.get_offset"
+    TRAITS = frozenset({Trait.UNIFORM_SOURCE})
+
+
+@register_op
+class SYCLAccessorSizeOp(_QueryOpBase):
+    """Total number of elements accessible through the accessor."""
+
+    OPERATION_NAME = "sycl.accessor.size"
+    TRAITS = frozenset({Trait.UNIFORM_SOURCE})
+
+
+@register_op
+class SYCLAccessorGetPointerOp(Operation, MemoryEffectsInterface):
+    """Raw pointer (as a memref) underlying the accessor."""
+
+    OPERATION_NAME = "sycl.accessor.get_pointer"
+
+    @classmethod
+    def build(cls, accessor: Value) -> "SYCLAccessorGetPointerOp":
+        accessor_type = _accessor_type_of(accessor)
+        element = accessor_type.element_type if accessor_type is not None \
+            else IndexType()
+        space = "local" if accessor_type is not None and accessor_type.is_local \
+            else "global"
+        return cls(operands=(accessor,),
+                   result_types=(MemRefType((DYNAMIC,), element, space),))
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return []
+
+
+@register_op
+class SYCLGroupBarrierOp(Operation, MemoryEffectsInterface):
+    """Work-group barrier (``group_barrier(group)``).
+
+    Injecting this in a divergent region would deadlock, which is why Loop
+    Internalization consults the uniformity analysis first (Section VI-C).
+    """
+
+    OPERATION_NAME = "sycl.group_barrier"
+    TRAITS = frozenset({Trait.BARRIER})
+
+    @classmethod
+    def build(cls, group: Value) -> "SYCLGroupBarrierOp":
+        return cls(operands=(group,))
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        # A barrier orders all memory accesses of the work-group: model it as
+        # a read and write of unspecified memory.
+        return [read(None), write(None)]
+
+
+@register_op
+class SYCLLocalIDOp(_QueryOpBase):
+    """Direct query of the work-item local id (used after lowering)."""
+
+    OPERATION_NAME = "sycl.local_id"
+    TRAITS = frozenset({Trait.NON_UNIFORM_SOURCE})
+
+
+@register_op
+class SYCLGlobalIDOp(_QueryOpBase):
+    """Direct query of the work-item global id (used after lowering)."""
+
+    OPERATION_NAME = "sycl.global_id"
+    TRAITS = frozenset({Trait.NON_UNIFORM_SOURCE})
+
+
+# ---------------------------------------------------------------------------
+# Host-side operations (produced by the host raising pass, Section VII-A)
+# ---------------------------------------------------------------------------
+
+@register_op
+class SYCLHostConstructorOp(Operation, MemoryEffectsInterface):
+    """Construction of a SYCL runtime object in host code.
+
+    ``sycl.host.constructor(%out, %args...) {type = "accessor", ...}``
+    mirrors Listing 9.  The ``type`` attribute names the constructed SYCL
+    class; additional attributes record statically-known construction
+    parameters (dimensions, access mode, whether the accessor is ranged).
+    """
+
+    OPERATION_NAME = "sycl.host.constructor"
+
+    @classmethod
+    def build(cls, type_name: str, destination: Value, args: Sequence[Value],
+              **extra_attrs) -> "SYCLHostConstructorOp":
+        attrs = {"type": StringAttr(type_name)}
+        for key, value in extra_attrs.items():
+            if isinstance(value, int):
+                attrs[key] = IntegerAttr(value, i64())
+            elif isinstance(value, str):
+                attrs[key] = StringAttr(value)
+            else:
+                attrs[key] = value
+        return cls(operands=(destination, *args), attributes=attrs)
+
+    @property
+    def destination(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def arguments(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+    @property
+    def constructed_type(self) -> str:
+        return self.get_str_attr("type", "")
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        effects = [write(self.destination)]
+        effects.extend(read(arg) for arg in self.arguments)
+        return effects
+
+
+@register_op
+class SYCLHostScheduleKernelOp(Operation, MemoryEffectsInterface):
+    """Scheduling of a device kernel from a command group.
+
+    ``sycl.host.schedule_kernel %handler -> @kernels::@K [range %r](%args...)``
+    (Listing 9).  Operands are the handler, optionally the ND-range / range
+    objects, and the captured kernel arguments.  The ``kernel`` attribute is
+    a nested symbol reference into the device module.
+    """
+
+    OPERATION_NAME = "sycl.host.schedule_kernel"
+
+    @classmethod
+    def build(cls, handler: Value, kernel_symbol: SymbolRefAttr,
+              kernel_args: Sequence[Value],
+              global_range: Optional[Value] = None,
+              local_range: Optional[Value] = None) -> "SYCLHostScheduleKernelOp":
+        operands = [handler]
+        num_range_operands = 0
+        if global_range is not None:
+            operands.append(global_range)
+            num_range_operands += 1
+        if local_range is not None:
+            operands.append(local_range)
+            num_range_operands += 1
+        operands.extend(kernel_args)
+        attrs = {
+            "kernel": kernel_symbol,
+            "num_range_operands": IntegerAttr(num_range_operands, i64()),
+            "has_local_range": IntegerAttr(1 if local_range is not None else 0,
+                                           i64()),
+        }
+        return cls(operands=tuple(operands), attributes=attrs)
+
+    @property
+    def handler(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def kernel_symbol(self) -> SymbolRefAttr:
+        attr = self.attributes["kernel"]
+        assert isinstance(attr, SymbolRefAttr)
+        return attr
+
+    @property
+    def kernel_name(self) -> str:
+        return self.kernel_symbol.leaf
+
+    @property
+    def num_range_operands(self) -> int:
+        return self.get_int_attr("num_range_operands", 0)
+
+    @property
+    def global_range(self) -> Optional[Value]:
+        return self.operands[1] if self.num_range_operands >= 1 else None
+
+    @property
+    def local_range(self) -> Optional[Value]:
+        if self.get_int_attr("has_local_range", 0) and self.num_range_operands >= 2:
+            return self.operands[2]
+        return None
+
+    @property
+    def kernel_arguments(self) -> Sequence[Value]:
+        return self.operands[1 + self.num_range_operands:]
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        effects = [read(self.handler)]
+        effects.extend(read(arg) for arg in self.operands[1:])
+        return effects
+
+
+@register_op
+class SYCLHostSubmitOp(Operation, MemoryEffectsInterface):
+    """Submission of a command-group function to a queue."""
+
+    OPERATION_NAME = "sycl.host.submit"
+
+    @classmethod
+    def build(cls, queue: Value, command_group_symbol: SymbolRefAttr) -> "SYCLHostSubmitOp":
+        return cls(operands=(queue,), attributes={"cgf": command_group_symbol})
+
+    def memory_effects(self) -> List[MemoryEffect]:
+        return [read(self.operands[0]), write(None)]
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by analyses / transforms
+# ---------------------------------------------------------------------------
+
+def _accessor_type_of(value: Value) -> Optional[AccessorType]:
+    """Extract the AccessorType behind a value (direct or via memref)."""
+    type_ = value.type
+    if isinstance(type_, AccessorType):
+        return type_
+    if isinstance(type_, MemRefType) and isinstance(type_.element_type, AccessorType):
+        return type_.element_type
+    return None
+
+
+def accessor_type_of(value: Value) -> Optional[AccessorType]:
+    return _accessor_type_of(value)
+
+
+def is_sycl_type(type_: Type) -> bool:
+    return isinstance(type_, (IDType, RangeType, ItemType, NDItemType, GroupType,
+                              NDRangeType, AccessorType, BufferType, QueueType,
+                              HandlerType))
+
+
+#: Device operations that yield per-work-item (non-uniform) values.
+NON_UNIFORM_QUERY_OPS: Tuple[str, ...] = (
+    "sycl.item.get_id",
+    "sycl.item.get_linear_id",
+    "sycl.nd_item.get_global_id",
+    "sycl.nd_item.get_global_linear_id",
+    "sycl.nd_item.get_local_id",
+    "sycl.nd_item.get_local_linear_id",
+    "sycl.local_id",
+    "sycl.global_id",
+)
+
+
+class SYCLDialect(Dialect):
+    """Dialect descriptor; also exposes the SYCL alias-analysis hooks."""
+
+    NAME = "sycl"
+
+    @staticmethod
+    def values_definitely_distinct(a: Value, b: Value) -> bool:
+        """Dialect hook used by the SYCL-specific alias analysis.
+
+        Returns True when the dialect can prove two values never reference
+        overlapping memory (see ``repro.analysis.sycl_alias``).
+        """
+        from ..analysis.sycl_alias import sycl_values_definitely_distinct
+
+        return sycl_values_definitely_distinct(a, b)

@@ -1,0 +1,100 @@
+"""Mini-MLIR core IR infrastructure.
+
+This package provides the generic compiler infrastructure the SYCL-MLIR
+reproduction is built on: types, attributes, SSA values, operations with
+nested regions, builders, a printer, a verifier and dominance utilities.
+"""
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseElementsAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+    array_attr,
+    bool_attr,
+    float_attr,
+    int_attr,
+    str_attr,
+    symbol_ref,
+)
+from .builder import Builder, InsertionPoint
+from .context import Context, Dialect, default_context
+from .dominance import DominanceInfo, properly_dominates
+from .interfaces import (
+    BranchOpInterface,
+    CallOpInterface,
+    EffectKind,
+    LoopLikeInterface,
+    MemoryEffect,
+    MemoryEffectsInterface,
+    get_memory_effects,
+    is_side_effect_free,
+)
+from .operations import (
+    Block,
+    IRError,
+    Operation,
+    Region,
+    lookup_op_class,
+    register_op,
+    registered_operations,
+)
+from .printer import Printer, print_op
+from .traits import Trait, has_trait
+from .types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+    f32,
+    f64,
+    function_type,
+    i1,
+    i8,
+    i32,
+    i64,
+    index,
+    is_float,
+    is_integer,
+    is_scalar,
+    memref,
+)
+from .values import BlockArgument, OpResult, Use, Value
+from .verifier import VerificationError, collect_symbols, verify
+
+__all__ = [
+    "ArrayAttr", "Attribute", "BoolAttr", "DenseElementsAttr", "DictAttr",
+    "FloatAttr", "IntegerAttr", "StringAttr", "SymbolRefAttr", "TypeAttr",
+    "UnitAttr", "array_attr", "bool_attr", "float_attr", "int_attr",
+    "str_attr", "symbol_ref",
+    "Builder", "InsertionPoint",
+    "Context", "Dialect", "default_context",
+    "DominanceInfo", "properly_dominates",
+    "BranchOpInterface", "CallOpInterface", "EffectKind", "LoopLikeInterface",
+    "MemoryEffect", "MemoryEffectsInterface", "get_memory_effects",
+    "is_side_effect_free",
+    "Block", "IRError", "Operation", "Region", "lookup_op_class",
+    "register_op", "registered_operations",
+    "Printer", "print_op",
+    "Trait", "has_trait",
+    "DYNAMIC", "FloatType", "FunctionType", "IndexType", "IntegerType",
+    "MemRefType", "NoneType", "PointerType", "StructType", "Type",
+    "VectorType", "f32", "f64", "function_type", "i1", "i8", "i32", "i64",
+    "index", "is_float", "is_integer", "is_scalar", "memref",
+    "BlockArgument", "OpResult", "Use", "Value",
+    "VerificationError", "collect_symbols", "verify",
+]

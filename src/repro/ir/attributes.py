@@ -1,0 +1,152 @@
+"""Attributes: compile-time constant metadata attached to operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from .types import Type
+
+
+class Attribute:
+    """Base class for all attributes."""
+
+    def __repr__(self) -> str:
+        return f"Attr({self})"
+
+
+@dataclass(frozen=True)
+class IntegerAttr(Attribute):
+    value: int
+    type: Type
+
+    def __str__(self) -> str:
+        return f"{self.value} : {self.type}"
+
+
+@dataclass(frozen=True)
+class FloatAttr(Attribute):
+    value: float
+    type: Type
+
+    def __str__(self) -> str:
+        return f"{self.value} : {self.type}"
+
+
+@dataclass(frozen=True)
+class BoolAttr(Attribute):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StringAttr(Attribute):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class SymbolRefAttr(Attribute):
+    """Reference to a symbol (function / global), possibly nested."""
+
+    root: str
+    nested: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [f"@{self.root}"] + [f"@{name}" for name in self.nested]
+        return "::".join(parts)
+
+    @property
+    def leaf(self) -> str:
+        """Name of the innermost referenced symbol."""
+        return self.nested[-1] if self.nested else self.root
+
+
+@dataclass(frozen=True)
+class TypeAttr(Attribute):
+    value: Type
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ArrayAttr(Attribute):
+    value: Tuple[Attribute, ...]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(a) for a in self.value) + "]"
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __iter__(self):
+        return iter(self.value)
+
+    def __getitem__(self, idx: int) -> Attribute:
+        return self.value[idx]
+
+
+@dataclass(frozen=True)
+class DenseElementsAttr(Attribute):
+    """Constant tensor/array data, e.g. a constant filter for a convolution."""
+
+    values: Tuple[Any, ...]
+    shape: Tuple[int, ...]
+    element_type: Type
+
+    def __str__(self) -> str:
+        body = ", ".join(str(v) for v in self.values[:8])
+        suffix = ", ..." if len(self.values) > 8 else ""
+        return f"dense<[{body}{suffix}]>"
+
+
+@dataclass(frozen=True)
+class UnitAttr(Attribute):
+    """Presence-only attribute (e.g. ``sycl.kernel``)."""
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class DictAttr(Attribute):
+    value: Tuple[Tuple[str, Attribute], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k} = {v}" for k, v in self.value)
+        return "{" + inner + "}"
+
+    def get(self, key: str, default=None):
+        for name, attr in self.value:
+            if name == key:
+                return attr
+        return default
+
+
+def int_attr(value: int, type_: Type) -> IntegerAttr:
+    return IntegerAttr(int(value), type_)
+
+
+def float_attr(value: float, type_: Type) -> FloatAttr:
+    return FloatAttr(float(value), type_)
+
+
+def str_attr(value: str) -> StringAttr:
+    return StringAttr(value)
+
+
+def bool_attr(value: bool) -> BoolAttr:
+    return BoolAttr(bool(value))
+
+
+def symbol_ref(root: str, *nested: str) -> SymbolRefAttr:
+    return SymbolRefAttr(root, tuple(nested))
+
+
+def array_attr(values) -> ArrayAttr:
+    return ArrayAttr(tuple(values))

@@ -1,0 +1,100 @@
+"""IR construction helpers: insertion points and the builder."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from .operations import Block, IRError, Operation
+
+
+class InsertionPoint:
+    """A position inside a block where new operations are inserted."""
+
+    def __init__(self, block: Block, index: Optional[int] = None):
+        self.block = block
+        #: Index at which the next op is inserted; None means "at the end".
+        self.index = index
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertionPoint":
+        return cls(block, None)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertionPoint":
+        if op.parent is None:
+            raise IRError("operation has no parent block")
+        return cls(op.parent, op.parent.operations.index(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertionPoint":
+        if op.parent is None:
+            raise IRError("operation has no parent block")
+        return cls(op.parent, op.parent.operations.index(op) + 1)
+
+    def insert(self, op: Operation) -> Operation:
+        if self.index is None:
+            self.block.append(op)
+        else:
+            self.block.insert(self.index, op)
+            self.index += 1
+        return op
+
+
+class Builder:
+    """Creates operations at an insertion point.
+
+    The builder is intentionally small: operation classes expose ``build``
+    class methods with meaningful argument names, and the builder only takes
+    care of placement.
+    """
+
+    def __init__(self, insertion_point: Optional[InsertionPoint] = None):
+        self.insertion_point = insertion_point
+
+    # -- placement management -------------------------------------------------
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self.insertion_point = InsertionPoint.at_end(block)
+
+    def set_insertion_point_to_start(self, block: Block) -> None:
+        self.insertion_point = InsertionPoint(block, 0)
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        self.insertion_point = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        self.insertion_point = InsertionPoint.after(op)
+
+    @contextmanager
+    def at_end_of(self, block: Block):
+        """Temporarily redirect insertion to the end of ``block``."""
+        saved = self.insertion_point
+        self.set_insertion_point_to_end(block)
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    @contextmanager
+    def at(self, insertion_point: InsertionPoint):
+        saved = self.insertion_point
+        self.insertion_point = insertion_point
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    # -- creation --------------------------------------------------------------
+    def insert(self, op: Operation) -> Operation:
+        if self.insertion_point is None:
+            raise IRError("builder has no insertion point")
+        return self.insertion_point.insert(op)
+
+    def create(self, op_class, *args, **kwargs) -> Operation:
+        """Build an operation via its ``build`` class method and insert it."""
+        op = op_class.build(*args, **kwargs)
+        return self.insert(op)
+
+
+def create_block_with_args(arg_types: Sequence, arg_names=None) -> Block:
+    return Block(arg_types, arg_names)

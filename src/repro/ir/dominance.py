@@ -1,0 +1,66 @@
+"""Structural dominance queries for region-based IR.
+
+The IR used by this project is almost exclusively structured (scf / affine
+control flow rather than arbitrary CFGs), so dominance reduces to the
+question "does operation A occur before operation B, where A's block is an
+ancestor of (or equal to) B's block?".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .operations import Block, Operation
+from .values import BlockArgument, Value
+
+
+class DominanceInfo:
+    """Answers dominance queries within a region tree rooted at ``root``."""
+
+    def __init__(self, root: Operation):
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def enclosing_blocks(self, op: Operation) -> List[Block]:
+        """Blocks enclosing ``op``, innermost first."""
+        blocks: List[Block] = []
+        block: Optional[Block] = op.parent
+        while block is not None:
+            blocks.append(block)
+            parent_op = block.parent_op()
+            block = parent_op.parent if parent_op is not None else None
+        return blocks
+
+    def properly_dominates(self, a: Operation, b: Operation) -> bool:
+        """True if ``a`` strictly dominates ``b``."""
+        if a is b:
+            return False
+        if a.parent is b.parent:
+            return a.is_before_in_block(b)
+        # Hoist b to the ancestor living in a's block.
+        ancestor: Optional[Operation] = b
+        while ancestor is not None and ancestor.parent is not a.parent:
+            ancestor = ancestor.parent_op()
+        if ancestor is None:
+            return False
+        if ancestor is a:
+            # a encloses b; an enclosing op does not dominate its body ops
+            # for SSA purposes, but region nesting makes values visible.
+            return True
+        return a.is_before_in_block(ancestor)
+
+    def dominates(self, a: Operation, b: Operation) -> bool:
+        return a is b or self.properly_dominates(a, b)
+
+    def value_dominates(self, value: Value, op: Operation) -> bool:
+        """True if ``value`` is usable at ``op``."""
+        if isinstance(value, BlockArgument):
+            return value.owner_block() in self.enclosing_blocks(op)
+        defining = value.defining_op()
+        if defining is None:
+            return True
+        return self.properly_dominates(defining, op)
+
+
+def properly_dominates(a: Operation, b: Operation) -> bool:
+    return DominanceInfo(a).properly_dominates(a, b)

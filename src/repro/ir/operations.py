@@ -1,0 +1,458 @@
+"""Core IR structures: operations, blocks and regions.
+
+The design mirrors MLIR: an :class:`Operation` has operands, results,
+attributes and nested :class:`Region`\\ s; a region holds :class:`Block`\\ s;
+a block holds a list of operations.  Nesting is what lets a single module
+hold host and device code side by side (paper, Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type as PyType
+
+from .attributes import Attribute, IntegerAttr, FloatAttr, BoolAttr, StringAttr
+from .traits import Trait, has_trait
+from .types import Type
+from .values import BlockArgument, OpResult, Use, Value
+
+
+class IRError(Exception):
+    """Raised for malformed IR manipulations."""
+
+
+class Operation:
+    """A generic operation.
+
+    Concrete operations subclass this and set ``OPERATION_NAME`` plus
+    ``TRAITS``.  Operations are created either through subclass ``build``
+    class methods or through :class:`repro.ir.builder.Builder`.
+    """
+
+    OPERATION_NAME: str = "builtin.unregistered"
+    TRAITS: frozenset = frozenset()
+
+    def __init__(self,
+                 operands: Sequence[Value] = (),
+                 result_types: Sequence[Type] = (),
+                 attributes: Optional[Dict[str, Attribute]] = None,
+                 regions: int = 0,
+                 successors: Sequence["Block"] = ()):
+        self._operands: List[Value] = []
+        self.results: List[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.attributes: Dict[str, Attribute] = dict(attributes or {})
+        self.regions: List[Region] = [Region(self) for _ in range(regions)]
+        self.successors: List[Block] = list(successors)
+        self.parent: Optional[Block] = None
+        for value in operands:
+            self._append_operand(value)
+
+    # ------------------------------------------------------------------
+    # Identity / naming
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.OPERATION_NAME
+
+    @property
+    def dialect(self) -> str:
+        return self.OPERATION_NAME.split(".", 1)[0]
+
+    # ------------------------------------------------------------------
+    # Operands
+    # ------------------------------------------------------------------
+    @property
+    def operands(self) -> Tuple[Value, ...]:
+        return tuple(self._operands)
+
+    def _append_operand(self, value: Value) -> None:
+        if not isinstance(value, Value):
+            raise IRError(
+                f"operand of {self.OPERATION_NAME} must be a Value, got {value!r}")
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.remove_use(self, index)
+        self._operands[index] = value
+        value.add_use(Use(self, index))
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, operand in enumerate(self._operands):
+            if operand is old:
+                self.set_operand(i, new)
+
+    def drop_all_uses_of_operands(self) -> None:
+        for i, operand in enumerate(self._operands):
+            operand.remove_use(self, i)
+        self._operands = []
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> OpResult:
+        if len(self.results) != 1:
+            raise IRError(
+                f"{self.OPERATION_NAME} has {len(self.results)} results; "
+                "'result' expects exactly one")
+        return self.results[0]
+
+    def replace_all_uses_with(self, new_values: Sequence[Value]) -> None:
+        if len(new_values) != len(self.results):
+            raise IRError("replacement value count mismatch")
+        for old, new in zip(self.results, new_values):
+            old.replace_all_uses_with(new)
+
+    def has_uses(self) -> bool:
+        return any(res.has_uses() for res in self.results)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    def get_attr(self, name: str, default=None):
+        return self.attributes.get(name, default)
+
+    def set_attr(self, name: str, attr: Attribute) -> None:
+        self.attributes[name] = attr
+
+    def remove_attr(self, name: str) -> None:
+        self.attributes.pop(name, None)
+
+    def get_int_attr(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        attr = self.attributes.get(name)
+        if isinstance(attr, IntegerAttr):
+            return attr.value
+        if isinstance(attr, BoolAttr):
+            return int(attr.value)
+        return default
+
+    def get_str_attr(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        attr = self.attributes.get(name)
+        if isinstance(attr, StringAttr):
+            return attr.value
+        return default
+
+    # ------------------------------------------------------------------
+    # Structure navigation
+    # ------------------------------------------------------------------
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        region = self.parent.parent
+        return region.parent if region is not None else None
+
+    def parent_of_type(self, op_class) -> Optional["Operation"]:
+        ancestor = self.parent_op()
+        while ancestor is not None:
+            if isinstance(ancestor, op_class):
+                return ancestor
+            ancestor = ancestor.parent_op()
+        return None
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        ancestor = other
+        while ancestor is not None:
+            if ancestor is self:
+                return True
+            ancestor = ancestor.parent_op()
+        return False
+
+    def is_proper_ancestor_of(self, other: "Operation") -> bool:
+        return self is not other and self.is_ancestor_of(other)
+
+    def all_blocks(self) -> Iterator["Block"]:
+        for region in self.regions:
+            yield from region.blocks
+
+    def walk(self, include_self: bool = True) -> Iterator["Operation"]:
+        """Pre-order traversal of this operation and all nested operations."""
+        if include_self:
+            yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk(include_self=True)
+
+    def walk_type(self, op_class) -> Iterator["Operation"]:
+        for op in self.walk():
+            if isinstance(op, op_class):
+                yield op
+
+    def block_index(self) -> int:
+        if self.parent is None:
+            raise IRError("operation has no parent block")
+        return self.parent.operations.index(self)
+
+    def is_before_in_block(self, other: "Operation") -> bool:
+        if self.parent is not other.parent or self.parent is None:
+            raise IRError("operations are not in the same block")
+        return self.block_index() < other.block_index()
+
+    def next_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        idx = self.block_index()
+        ops = self.parent.operations
+        return ops[idx + 1] if idx + 1 < len(ops) else None
+
+    def prev_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        idx = self.block_index()
+        return self.parent.operations[idx - 1] if idx > 0 else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def detach(self) -> "Operation":
+        """Remove this operation from its parent block without erasing it."""
+        if self.parent is not None:
+            self.parent.operations.remove(self)
+            self.parent = None
+        return self
+
+    def erase(self) -> None:
+        """Erase this operation (and its regions) from the IR.
+
+        The operation must not have remaining uses of its results.
+        """
+        if self.has_uses():
+            raise IRError(
+                f"cannot erase {self.OPERATION_NAME}: results still have uses")
+        for region in self.regions:
+            for block in list(region.blocks):
+                block.erase_all_ops()
+        self.drop_all_uses_of_operands()
+        self.detach()
+
+    def move_before(self, other: "Operation") -> None:
+        self.detach()
+        block = other.parent
+        if block is None:
+            raise IRError("target operation has no parent block")
+        block.insert_before(other, self)
+
+    def move_after(self, other: "Operation") -> None:
+        self.detach()
+        block = other.parent
+        if block is None:
+            raise IRError("target operation has no parent block")
+        block.insert_after(other, self)
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+    def clone(self, mapping: Optional[Dict[Value, Value]] = None) -> "Operation":
+        """Deep-clone this operation.
+
+        ``mapping`` maps values in the original IR to values to be used by
+        the clone; it is extended with result/argument mappings so that
+        cloned regions refer to cloned values.
+        """
+        if mapping is None:
+            mapping = {}
+        new_operands = [mapping.get(operand, operand) for operand in self._operands]
+        clone = self.__class__.__new__(self.__class__)
+        Operation.__init__(
+            clone,
+            operands=new_operands,
+            result_types=[res.type for res in self.results],
+            attributes=dict(self.attributes),
+            regions=0,
+            successors=list(self.successors),
+        )
+        # Copy any extra (non-IR) instance state set by subclasses.
+        core = {"_operands", "results", "attributes", "regions",
+                "successors", "parent"}
+        for key, value in self.__dict__.items():
+            if key not in core and key not in clone.__dict__:
+                clone.__dict__[key] = value
+        for old_res, new_res in zip(self.results, clone.results):
+            mapping[old_res] = new_res
+        for region in self.regions:
+            clone.regions.append(region.clone_into(clone, mapping))
+        return clone
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def verify_op(self) -> None:
+        """Hook for per-operation structural checks (overridden by ops)."""
+
+    def fold(self):
+        """Hook for constant folding.
+
+        Returns either ``None`` (cannot fold), a list of :class:`Attribute`
+        (constant results), or a list of :class:`Value` (existing values to
+        use instead of the results).
+        """
+        return None
+
+    def __str__(self) -> str:
+        from .printer import Printer
+
+        return Printer().print_op_to_string(self)
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} {self.OPERATION_NAME}>"
+
+
+class Block:
+    """A sequential list of operations ending (usually) in a terminator."""
+
+    def __init__(self, arg_types: Sequence[Type] = (),
+                 arg_names: Optional[Sequence[str]] = None):
+        self.arguments: List[BlockArgument] = []
+        self.operations: List[Operation] = []
+        self.parent: Optional[Region] = None
+        for i, type_ in enumerate(arg_types):
+            name = arg_names[i] if arg_names else None
+            self.arguments.append(BlockArgument(self, i, type_, name))
+
+    # -- arguments ----------------------------------------------------------
+    def add_argument(self, type_: Type, name_hint: Optional[str] = None) -> BlockArgument:
+        arg = BlockArgument(self, len(self.arguments), type_, name_hint)
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses():
+            raise IRError("cannot erase block argument that still has uses")
+        del self.arguments[index]
+        for i, remaining in enumerate(self.arguments):
+            remaining.arg_index = i
+
+    # -- operations ----------------------------------------------------------
+    def append(self, op: Operation) -> Operation:
+        op.detach()
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        op.detach()
+        op.parent = self
+        self.operations.insert(index, op)
+        return op
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor), op)
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor) + 1, op)
+
+    def erase_all_ops(self) -> None:
+        """Erase all operations, dropping uses (used when erasing regions)."""
+        for op in reversed(list(self.operations)):
+            for res in op.results:
+                res.uses = []
+            for region in op.regions:
+                for block in region.blocks:
+                    block.erase_all_ops()
+            op.drop_all_uses_of_operands()
+            op.parent = None
+        self.operations = []
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        if self.operations and has_trait(self.operations[-1], Trait.TERMINATOR):
+            return self.operations[-1]
+        return None
+
+    def ops_without_terminator(self) -> List[Operation]:
+        term = self.terminator
+        if term is None:
+            return list(self.operations)
+        return list(self.operations[:-1])
+
+    # -- navigation -----------------------------------------------------------
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(list(self.operations))
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"<Block with {len(self.operations)} ops>"
+
+
+class Region:
+    """A list of blocks nested inside an operation."""
+
+    def __init__(self, parent: Optional[Operation] = None):
+        self.parent = parent
+        self.blocks: List[Block] = []
+
+    def add_block(self, block: Optional[Block] = None) -> Block:
+        if block is None:
+            block = Block()
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def front(self) -> Block:
+        if not self.blocks:
+            raise IRError("region has no blocks")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def clone_into(self, parent: Operation, mapping: Dict[Value, Value]) -> "Region":
+        new_region = Region(parent)
+        # First create all blocks/arguments so branch successors can map.
+        block_map: Dict[Block, Block] = {}
+        for block in self.blocks:
+            new_block = Block()
+            for arg in block.arguments:
+                new_arg = new_block.add_argument(arg.type, arg.name_hint)
+                mapping[arg] = new_arg
+            new_region.add_block(new_block)
+            block_map[block] = new_block
+        for block in self.blocks:
+            new_block = block_map[block]
+            for op in block.operations:
+                cloned = op.clone(mapping)
+                cloned.successors = [block_map.get(s, s) for s in cloned.successors]
+                new_block.append(cloned)
+        return new_region
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"
+
+
+# ---------------------------------------------------------------------------
+# Operation registry
+# ---------------------------------------------------------------------------
+
+_OPERATION_REGISTRY: Dict[str, PyType[Operation]] = {}
+
+
+def register_op(cls: PyType[Operation]) -> PyType[Operation]:
+    """Class decorator registering an operation by its ``OPERATION_NAME``."""
+    name = cls.OPERATION_NAME
+    if name in _OPERATION_REGISTRY and _OPERATION_REGISTRY[name] is not cls:
+        raise IRError(f"operation {name!r} registered twice")
+    _OPERATION_REGISTRY[name] = cls
+    return cls
+
+
+def lookup_op_class(name: str) -> Optional[PyType[Operation]]:
+    return _OPERATION_REGISTRY.get(name)
+
+
+def registered_operations() -> Dict[str, PyType[Operation]]:
+    return dict(_OPERATION_REGISTRY)

@@ -1,0 +1,95 @@
+"""Textual printer for the IR.
+
+Produces MLIR-flavoured generic syntax such as::
+
+    %0 = "arith.addi"(%arg0, %c1) : (i64, i64) -> i64
+
+The printer is deterministic and purely for humans / tests; there is no
+round-tripping parser (IR is constructed programmatically via builders).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Dict
+
+from .operations import Block, Operation, Region
+from .values import BlockArgument, Value
+
+
+class Printer:
+    def __init__(self, indent_width: int = 2):
+        self.indent_width = indent_width
+        self._names: Dict[int, str] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def value_name(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._names:
+            if value.name_hint:
+                name = f"%{value.name_hint}"
+                if name in self._names.values():
+                    name = f"%{value.name_hint}_{self._next_id}"
+                    self._next_id += 1
+            elif isinstance(value, BlockArgument):
+                name = f"%arg{value.arg_index}"
+                if name in self._names.values():
+                    name = f"%arg{value.arg_index}_{self._next_id}"
+                    self._next_id += 1
+            else:
+                name = f"%{self._next_id}"
+                self._next_id += 1
+            self._names[key] = name
+        return self._names[key]
+
+    # ------------------------------------------------------------------
+    def print_module(self, module: Operation) -> str:
+        return self.print_op_to_string(module)
+
+    def print_op_to_string(self, op: Operation) -> str:
+        out = StringIO()
+        self._print_op(op, out, 0)
+        return out.getvalue().rstrip("\n")
+
+    # ------------------------------------------------------------------
+    def _print_op(self, op: Operation, out: StringIO, indent: int) -> None:
+        pad = " " * (indent * self.indent_width)
+        results = ", ".join(self.value_name(res) for res in op.results)
+        prefix = f"{results} = " if results else ""
+        operands = ", ".join(self.value_name(v) for v in op.operands)
+        attrs = ""
+        if op.attributes:
+            inner = ", ".join(
+                f"{key} = {value}" for key, value in sorted(op.attributes.items()))
+            attrs = f" {{{inner}}}"
+        in_types = ", ".join(str(v.type) for v in op.operands)
+        out_types = ", ".join(str(res.type) for res in op.results)
+        signature = f" : ({in_types}) -> ({out_types})"
+        out.write(f"{pad}{prefix}\"{op.name}\"({operands}){attrs}{signature}")
+        if op.successors:
+            names = ", ".join(f"^bb{i}" for i, _ in enumerate(op.successors))
+            out.write(f" [{names}]")
+        if op.regions:
+            out.write(" (")
+            for region in op.regions:
+                out.write("{\n")
+                self._print_region(region, out, indent + 1)
+                out.write(f"{pad}}}")
+            out.write(")")
+        out.write("\n")
+
+    def _print_region(self, region: Region, out: StringIO, indent: int) -> None:
+        for block_idx, block in enumerate(region.blocks):
+            if block.arguments or len(region.blocks) > 1:
+                pad = " " * ((indent - 1) * self.indent_width + 1)
+                args = ", ".join(
+                    f"{self.value_name(a)}: {a.type}" for a in block.arguments)
+                out.write(f"{pad}^bb{block_idx}({args}):\n")
+            for op in block.operations:
+                self._print_op(op, out, indent)
+
+
+def print_op(op: Operation) -> str:
+    """Convenience wrapper printing a single operation tree."""
+    return Printer().print_op_to_string(op)

@@ -1,0 +1,113 @@
+"""SSA values: operation results and block arguments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from .types import Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .operations import Block, Operation
+
+
+@dataclass
+class Use:
+    """A single use of a value: operand ``index`` of ``owner``."""
+
+    owner: "Operation"
+    index: int
+
+
+class Value:
+    """Base class of all SSA values."""
+
+    def __init__(self, type_: Type, name_hint: Optional[str] = None):
+        self.type = type_
+        self.name_hint = name_hint
+        self.uses: List[Use] = []
+
+    # -- use-def chain -----------------------------------------------------
+    def add_use(self, use: Use) -> None:
+        self.uses.append(use)
+
+    def remove_use(self, owner: "Operation", index: int) -> None:
+        for i, use in enumerate(self.uses):
+            if use.owner is owner and use.index == index:
+                del self.uses[i]
+                return
+
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    def users(self) -> List["Operation"]:
+        """Distinct operations using this value, in use order."""
+        seen = []
+        for use in self.uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Replace every use of this value with ``other``."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.owner.set_operand(use.index, other)
+
+    def replace_uses_in(self, other: "Value", ops) -> None:
+        """Replace uses of this value with ``other`` only inside ``ops``."""
+        op_set = set(id(op) for op in ops)
+        for use in list(self.uses):
+            if id(use.owner) in op_set:
+                use.owner.set_operand(use.index, other)
+
+    # -- structural queries -------------------------------------------------
+    def defining_op(self) -> Optional["Operation"]:
+        """The operation producing this value, or None for block arguments."""
+        return None
+
+    def owner_block(self) -> Optional["Block"]:
+        """The block this value is introduced in."""
+        return None
+
+    def __repr__(self) -> str:
+        hint = self.name_hint or "?"
+        return f"<Value %{hint} : {self.type}>"
+
+
+class OpResult(Value):
+    """A result produced by an operation."""
+
+    def __init__(self, op: "Operation", index: int, type_: Type):
+        super().__init__(type_)
+        self.op = op
+        self.result_index = index
+
+    def defining_op(self) -> Optional["Operation"]:
+        return self.op
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.op.parent
+
+    def __repr__(self) -> str:
+        return f"<OpResult #{self.result_index} of {self.op.name} : {self.type}>"
+
+
+class BlockArgument(Value):
+    """An argument of a block (including region entry blocks)."""
+
+    def __init__(self, block: "Block", index: int, type_: Type,
+                 name_hint: Optional[str] = None):
+        super().__init__(type_, name_hint)
+        self.block = block
+        self.arg_index = index
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.block
+
+    def __repr__(self) -> str:
+        return f"<BlockArgument #{self.arg_index} : {self.type}>"

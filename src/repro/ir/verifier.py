@@ -1,0 +1,120 @@
+"""Structural IR verification.
+
+The verifier checks the invariants transformations rely on:
+
+* every operand of an operation is either a block argument of an enclosing
+  block or the result of an operation that dominates the use;
+* blocks with a terminator have it in last position only;
+* region-holding operations marked ``SINGLE_BLOCK`` have exactly one block;
+* per-operation checks via ``Operation.verify_op``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .operations import Block, Operation
+from .traits import Trait, has_trait
+from .values import BlockArgument, OpResult, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(op: Operation, raise_on_error: bool = True) -> List[str]:
+    """Verify ``op`` and all nested operations; return diagnostics."""
+    errors: List[str] = []
+    _verify_op(op, errors)
+    if errors and raise_on_error:
+        raise VerificationError("; ".join(errors))
+    return errors
+
+
+def _verify_op(op: Operation, errors: List[str]) -> None:
+    try:
+        op.verify_op()
+    except Exception as exc:  # noqa: BLE001 - collect as diagnostic
+        errors.append(f"{op.name}: {exc}")
+
+    if has_trait(op, Trait.SINGLE_BLOCK):
+        for region in op.regions:
+            if len(region.blocks) > 1:
+                errors.append(f"{op.name}: expected a single block per region")
+
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(op, block, errors)
+
+
+def _verify_block(parent: Operation, block: Block, errors: List[str]) -> None:
+    for index, op in enumerate(block.operations):
+        if has_trait(op, Trait.TERMINATOR) and index != len(block.operations) - 1:
+            errors.append(
+                f"{op.name}: terminator must be the last operation in its block")
+        for operand in op.operands:
+            if not _value_visible_from(operand, op):
+                errors.append(
+                    f"{op.name}: operand {operand!r} does not dominate its use")
+        _verify_op(op, errors)
+
+
+def _value_visible_from(value: Value, user: Operation) -> bool:
+    """Check that ``value`` is visible (structurally dominates) at ``user``.
+
+    For the structured-control-flow IR used throughout this project it is
+    sufficient to check that the defining operation/block argument belongs
+    to an ancestor block of the user and, for same-block definitions, occurs
+    earlier in the block.
+    """
+    owner_block = value.owner_block()
+    if owner_block is None:
+        # Detached value (e.g. being built); treat as visible.
+        return True
+
+    # Collect blocks enclosing the user, innermost first.
+    enclosing: List[Block] = []
+    block: Optional[Block] = user.parent
+    while block is not None:
+        enclosing.append(block)
+        parent_op = block.parent_op()
+        block = parent_op.parent if parent_op is not None else None
+
+    if owner_block not in enclosing:
+        return False
+
+    if isinstance(value, BlockArgument):
+        return True
+
+    assert isinstance(value, OpResult)
+    defining = value.defining_op()
+    if defining is None:
+        return True
+    if defining.parent is user.parent:
+        return defining.is_before_in_block(user)
+    # Defined in an enclosing block: find the ancestor of `user` that lives in
+    # the same block and compare positions.
+    ancestor = user
+    while ancestor.parent is not None and ancestor.parent is not defining.parent:
+        next_parent = ancestor.parent_op()
+        if next_parent is None:
+            return True
+        ancestor = next_parent
+    if ancestor.parent is defining.parent:
+        return defining.is_before_in_block(ancestor)
+    return True
+
+
+def collect_symbols(module: Operation) -> Set[str]:
+    """Return the set of symbol names defined directly under ``module``."""
+    from .attributes import StringAttr
+
+    symbols: Set[str] = set()
+    for region in module.regions:
+        for block in region.blocks:
+            for op in block.operations:
+                if has_trait(op, Trait.SYMBOL):
+                    name_attr = op.attributes.get("sym_name")
+                    if isinstance(name_attr, StringAttr):
+                        symbols.add(name_attr.value)
+    return symbols

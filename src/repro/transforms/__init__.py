@@ -1,0 +1,60 @@
+"""Transformation passes (paper, Sections VI and VII)."""
+
+from .canonicalize import CanonicalizePass, DCEPass, erase_dead_ops, fold_operation
+from .cse import CSEPass
+from .detect_reduction import DetectReduction, ReductionCandidate
+from .host_device import (
+    AccessorInfo,
+    HostDeviceOptimizationPass,
+    KernelLaunchInfo,
+    host_constructor_of,
+)
+from .host_raising import (
+    DEVICE_MODULE_NAME,
+    HostRaisingPass,
+    classify_runtime_call,
+    extract_kernel_name,
+)
+from .licm import LoopInvariantCodeMotion, VersionedLICM
+from .loop_internalization import LoopInternalization, work_group_size_of
+from .lower_sycl import LowerAccessorSubscripts
+from .pass_manager import (
+    CompileReport,
+    FunctionPass,
+    ModulePass,
+    Pass,
+    PassManager,
+    PassStatistic,
+)
+from .pipelines import (
+    OptimizationOptions,
+    adaptivecpp_aot_pipeline,
+    adaptivecpp_jit_pipeline,
+    dpcpp_pipeline,
+    sycl_mlir_pipeline,
+)
+from .rewrite import (
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+from .specialization import RuntimeCheckedAliasAnalysis, specialize_kernel
+
+__all__ = [
+    "CanonicalizePass", "DCEPass", "erase_dead_ops", "fold_operation",
+    "CSEPass",
+    "DetectReduction", "ReductionCandidate",
+    "AccessorInfo", "HostDeviceOptimizationPass", "KernelLaunchInfo",
+    "host_constructor_of",
+    "DEVICE_MODULE_NAME", "HostRaisingPass", "classify_runtime_call",
+    "extract_kernel_name",
+    "LoopInvariantCodeMotion", "VersionedLICM",
+    "LoopInternalization", "work_group_size_of",
+    "LowerAccessorSubscripts",
+    "CompileReport", "FunctionPass", "ModulePass", "Pass", "PassManager",
+    "PassStatistic",
+    "OptimizationOptions", "adaptivecpp_aot_pipeline",
+    "adaptivecpp_jit_pipeline", "dpcpp_pipeline", "sycl_mlir_pipeline",
+    "PatternRewriter", "RewritePattern", "apply_patterns_greedily",
+    "RuntimeCheckedAliasAnalysis", "specialize_kernel",
+]

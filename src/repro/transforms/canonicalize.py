@@ -1,0 +1,220 @@
+"""Canonicalization: constant folding, algebraic simplification and DCE."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir import (
+    Attribute,
+    BoolAttr,
+    FloatAttr,
+    IntegerAttr,
+    Operation,
+    Trait,
+    Value,
+    has_trait,
+    is_side_effect_free,
+)
+from ..dialects import arith
+from ..dialects.func import FuncOp
+from .pass_manager import CompileReport, FunctionPass
+
+#: Upper bound on folding sweeps per function.
+_MAX_SWEEPS = 16
+
+
+def _materialize_constant(attr: Attribute, type_) -> Optional[Operation]:
+    if isinstance(attr, (IntegerAttr, FloatAttr)):
+        return arith.ConstantOp.build(attr.value, type_)
+    if isinstance(attr, BoolAttr):
+        return arith.ConstantOp.build(attr.value, type_)
+    return None
+
+
+def fold_operation(op: Operation) -> bool:
+    """Try to fold ``op``; returns True if it was replaced."""
+    if isinstance(op, arith.ConstantOp):
+        return False
+    folded = op.fold()
+    if folded is None:
+        return False
+    replacements: List[Value] = []
+    for result, item in zip(op.results, folded):
+        if isinstance(item, Value):
+            replacements.append(item)
+            continue
+        constant = _materialize_constant(item, result.type)
+        if constant is None:
+            return False
+        op.parent.insert_before(op, constant)
+        replacements.append(constant.result)
+    op.replace_all_uses_with(replacements)
+    op.erase()
+    return True
+
+
+def _simplify_identities(op: Operation) -> bool:
+    """Algebraic identities: ``x + 0``, ``x * 1``, ``x * 0``, ``select c,a,a``."""
+    if isinstance(op, arith.SelectOp):
+        if op.operands[1] is op.operands[2]:
+            op.replace_all_uses_with([op.operands[1]])
+            op.erase()
+            return True
+        return False
+    identity = getattr(type(op), "IDENTITY", None)
+    if identity is None or len(op.operands) != 2:
+        return False
+    lhs, rhs = op.operands
+    rhs_const = arith.constant_value_of(rhs)
+    lhs_const = arith.constant_value_of(lhs)
+    commutative = has_trait(op, Trait.COMMUTATIVE)
+    if rhs_const is not None and rhs_const == identity:
+        op.replace_all_uses_with([lhs])
+        op.erase()
+        return True
+    if commutative and lhs_const is not None and lhs_const == identity:
+        op.replace_all_uses_with([rhs])
+        op.erase()
+        return True
+    # x * 0 == 0 (integers only, to avoid NaN pitfalls with floats).
+    if op.name == "arith.muli" and (rhs_const == 0 or lhs_const == 0):
+        zero = arith.ConstantOp.build(0, op.results[0].type)
+        op.parent.insert_before(op, zero)
+        op.replace_all_uses_with([zero.result])
+        op.erase()
+        return True
+    return False
+
+
+def erase_dead_ops(root: Operation) -> int:
+    """Remove operations that are dead.
+
+    An operation is dead when none of its results are used and it has no
+    observable effect: it is side-effect free, or its only effects are reads
+    and allocations (a read whose result is unused is unobservable).
+    """
+    erased = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk(include_self=False)):
+            if op.parent is None or has_trait(op, Trait.TERMINATOR):
+                continue
+            if has_trait(op, Trait.SYMBOL) or op.regions:
+                continue
+            if op.has_uses():
+                continue
+            if not op.results:
+                continue
+            if is_side_effect_free(op) or _effects_are_unobservable(op):
+                op.erase()
+                erased += 1
+                changed = True
+        erased_allocs = _erase_write_only_allocations(root)
+        if erased_allocs:
+            erased += erased_allocs
+            changed = True
+    return erased
+
+
+def _erase_write_only_allocations(root: Operation) -> int:
+    """Erase local allocations that are only ever written, never read.
+
+    This cleans up the id objects left behind when an accessor subscript is
+    rewritten (e.g. by Loop Internalization): the ``memref.alloca`` and the
+    ``sycl.constructor`` writing it have no observable effect once nothing
+    reads the id.
+    """
+    from ..ir import EffectKind, get_memory_effects
+
+    erased = 0
+    for op in list(root.walk(include_self=False)):
+        if op.parent is None:
+            continue
+        effects = get_memory_effects(op)
+        if effects is None or not effects:
+            continue
+        if not all(e.kind == EffectKind.ALLOCATE for e in effects):
+            continue
+        allocation = op.results[0] if op.results else None
+        if allocation is None:
+            continue
+        users = allocation.users()
+        if not users:
+            continue
+        writers = []
+        removable = True
+        for user in users:
+            if user.has_uses():
+                removable = False
+                break
+            user_effects = get_memory_effects(user)
+            if user_effects is None:
+                removable = False
+                break
+            for effect in user_effects:
+                if effect.kind == EffectKind.READ and effect.value is allocation:
+                    removable = False
+                    break
+                if effect.kind == EffectKind.WRITE and effect.value is not allocation:
+                    removable = False
+                    break
+            if not removable:
+                break
+            writers.append(user)
+        if not removable:
+            continue
+        for writer in writers:
+            writer.erase()
+            erased += 1
+        op.erase()
+        erased += 1
+    return erased
+
+
+def _effects_are_unobservable(op: Operation) -> bool:
+    """Only reads / allocations: removable when the results are unused."""
+    from ..ir import EffectKind, get_memory_effects
+
+    effects = get_memory_effects(op)
+    if effects is None:
+        return False
+    return bool(effects) and all(
+        e.kind in (EffectKind.READ, EffectKind.ALLOCATE) for e in effects)
+
+
+class CanonicalizePass(FunctionPass):
+    """Fold constants, simplify identities and erase dead pure operations."""
+
+    NAME = "canonicalize"
+
+    def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        for _ in range(_MAX_SWEEPS):
+            changed = False
+            for op in list(function.walk(include_self=False)):
+                if op.parent is None:
+                    continue
+                if fold_operation(op):
+                    report.add_statistic(self.NAME, "ops_folded")
+                    changed = True
+                    continue
+                if _simplify_identities(op):
+                    report.add_statistic(self.NAME, "identities_simplified")
+                    changed = True
+            erased = erase_dead_ops(function)
+            if erased:
+                report.add_statistic(self.NAME, "dead_ops_erased", erased)
+                changed = True
+            if not changed:
+                break
+
+
+class DCEPass(FunctionPass):
+    """Standalone dead-code elimination."""
+
+    NAME = "dce"
+
+    def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        erased = erase_dead_ops(function)
+        if erased:
+            report.add_statistic(self.NAME, "dead_ops_erased", erased)

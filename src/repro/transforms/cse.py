@@ -1,0 +1,61 @@
+"""Common subexpression elimination for side-effect free operations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir import Block, Operation, Trait, has_trait, is_side_effect_free
+from ..dialects.func import FuncOp
+from .pass_manager import CompileReport, FunctionPass
+
+
+def _operation_key(op: Operation) -> Tuple:
+    """Structural identity of a side-effect free operation."""
+    attr_key = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
+    extra = tuple(
+        (name, tuple(value) if isinstance(value, list) else value)
+        for name, value in sorted(op.__dict__.items())
+        if name in ("coefficients", "static_offsets")
+    )
+    return (op.name, tuple(id(v) for v in op.operands), attr_key,
+            tuple(str(r.type) for r in op.results), extra)
+
+
+class CSEPass(FunctionPass):
+    """Eliminates duplicate pure operations within each block scope.
+
+    Operations are deduplicated per block, with the available-expression map
+    inherited by nested regions (a duplicate inside a loop can reuse a value
+    computed before the loop, but not vice versa).
+    """
+
+    NAME = "cse"
+
+    def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        for region in function.regions:
+            for block in region.blocks:
+                self._process_block(block, {}, report)
+
+    def _process_block(self, block: Block, available: Dict[Tuple, Operation],
+                       report: CompileReport) -> None:
+        scope: Dict[Tuple, Operation] = dict(available)
+        for op in list(block.operations):
+            if op.parent is None:
+                continue
+            if op.regions:
+                for region in op.regions:
+                    for nested in region.blocks:
+                        self._process_block(nested, scope, report)
+                continue
+            if not op.results or not is_side_effect_free(op):
+                continue
+            if has_trait(op, Trait.TERMINATOR):
+                continue
+            key = _operation_key(op)
+            existing = scope.get(key)
+            if existing is not None and existing is not op:
+                op.replace_all_uses_with(list(existing.results))
+                op.erase()
+                report.add_statistic(self.NAME, "ops_eliminated")
+            else:
+                scope[key] = op

@@ -1,0 +1,215 @@
+"""SYCL-aware Loop Invariant Code Motion (paper, Section VI-A).
+
+The upstream MLIR utility only hoists operations that are free of memory
+effects.  The LICM implemented here additionally hoists operations that read
+or write memory when the SYCL-specialized alias analysis can prove the loop
+contains no conflicting access:
+
+* read-only operations are hoisted when nothing in the loop may write to the
+  locations they read;
+* allocations are hoisted when their operands are invariant;
+* write operations (e.g. ``sycl.constructor`` building an id from invariant
+  components) are hoisted when nothing else in the loop reads or writes a
+  location that may alias the written one.
+
+Hoisting side-effecting operations out of a loop is only sound when the loop
+executes at least once; the pass either proves this from constant bounds or
+versions the loop with a guard (``scf.if lb < ub``), matching the paper's
+description.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir import (
+    EffectKind,
+    Operation,
+    Trait,
+    Value,
+    get_memory_effects,
+    has_trait,
+    is_side_effect_free,
+)
+from ..dialects import affine as affine_dialect
+from ..dialects import arith
+from ..dialects import scf as scf_dialect
+from ..dialects.func import FuncOp
+from ..analysis.alias import AliasAnalysis
+from ..analysis.sycl_alias import SYCLAliasAnalysis
+from .pass_manager import CompileReport, FunctionPass
+
+_LOOP_TYPES = (affine_dialect.AffineForOp, scf_dialect.ForOp)
+
+
+def _loop_trip_count(loop: Operation) -> Optional[int]:
+    if isinstance(loop, affine_dialect.AffineForOp):
+        return loop.constant_trip_count()
+    if isinstance(loop, scf_dialect.ForOp):
+        return loop.constant_trip_count()
+    return None
+
+
+class LoopInvariantCodeMotion(FunctionPass):
+    """Hoists loop-invariant operations, including memory accesses."""
+
+    NAME = "sycl-licm"
+
+    def __init__(self, alias_analysis: Optional[AliasAnalysis] = None,
+                 allow_side_effecting_hoist: bool = True):
+        self.alias_analysis = alias_analysis or SYCLAliasAnalysis()
+        self.allow_side_effecting_hoist = allow_side_effecting_hoist
+
+    # ------------------------------------------------------------------
+    def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        # Innermost loops first so invariants bubble outwards.
+        loops = [op for op in function.walk() if isinstance(op, _LOOP_TYPES)]
+        for loop in reversed(loops):
+            if loop.parent is None:
+                continue
+            hoisted = self._process_loop(loop)
+            if hoisted:
+                report.add_statistic(self.NAME, "ops_hoisted", hoisted)
+
+    # ------------------------------------------------------------------
+    def _process_loop(self, loop: Operation) -> int:
+        trip_count = _loop_trip_count(loop)
+        may_not_execute = trip_count is None or trip_count == 0
+        hoisted_total = 0
+        changed = True
+        while changed:
+            changed = False
+            for op in list(loop.loop_body().ops_without_terminator()):
+                if op.parent is None or op.regions:
+                    continue
+                if not self._operands_defined_outside(op, loop):
+                    continue
+                if is_side_effect_free(op):
+                    self._hoist(op, loop)
+                    hoisted_total += 1
+                    changed = True
+                    continue
+                if not self.allow_side_effecting_hoist or may_not_execute:
+                    continue
+                if self._can_hoist_effectful(op, loop):
+                    self._hoist(op, loop)
+                    hoisted_total += 1
+                    changed = True
+        return hoisted_total
+
+    # ------------------------------------------------------------------
+    def _operands_defined_outside(self, op: Operation, loop: Operation) -> bool:
+        for operand in op.operands:
+            defining = operand.defining_op()
+            if defining is not None and loop.is_ancestor_of(defining):
+                return False
+            if defining is None:
+                block = operand.owner_block()
+                if block is not None and block.parent_op() is not None and \
+                        loop.is_ancestor_of(block.parent_op()):
+                    return False
+        return True
+
+    def _can_hoist_effectful(self, op: Operation, loop: Operation) -> bool:
+        effects = get_memory_effects(op)
+        if effects is None:
+            return False
+        read_targets: List[Value] = []
+        write_targets: List[Value] = []
+        for effect in effects:
+            if effect.kind == EffectKind.READ:
+                if effect.value is None:
+                    return False
+                read_targets.append(effect.value)
+            elif effect.kind == EffectKind.WRITE:
+                if effect.value is None:
+                    return False
+                write_targets.append(effect.value)
+            elif effect.kind == EffectKind.ALLOCATE:
+                continue
+            else:
+                return False
+
+        for other in loop.loop_body().ops_without_terminator():
+            if other is op:
+                continue
+            other_effects = self._effects_in_tree(other)
+            if other_effects is None:
+                return False
+            for effect in other_effects:
+                if effect.kind == EffectKind.WRITE:
+                    # A write in the loop kills hoisting of reads of an
+                    # aliasing location, and of writes to an aliasing
+                    # location.
+                    if self._conflicts(effect.value, read_targets) or \
+                            self._conflicts(effect.value, write_targets):
+                        return False
+                elif effect.kind == EffectKind.READ:
+                    # A read in the loop prevents hoisting a write that may
+                    # alias it, unless the read always observes the hoisted
+                    # write's (invariant) value: the candidate is the only
+                    # write to that location and precedes the read in the
+                    # loop body.
+                    if self._conflicts(effect.value, write_targets) and \
+                            not op.is_before_in_block(other):
+                        return False
+        return True
+
+    def _effects_in_tree(self, op: Operation):
+        """Memory effects of ``op`` and all nested operations (None = unknown)."""
+        all_effects = []
+        for nested in op.walk():
+            effects = get_memory_effects(nested)
+            if effects is None:
+                return None
+            all_effects.extend(effects)
+        return all_effects
+
+    def _conflicts(self, value: Optional[Value], targets: List[Value]) -> bool:
+        if not targets:
+            return False
+        if value is None:
+            return True
+        return any(self.alias_analysis.may_alias(value, target)
+                   for target in targets)
+
+    @staticmethod
+    def _hoist(op: Operation, loop: Operation) -> None:
+        op.move_before(loop)
+
+
+class VersionedLICM(LoopInvariantCodeMotion):
+    """LICM variant that versions loops when bounds are not known constant.
+
+    When the loop may execute zero times, side-effecting hoists are wrapped
+    together with the loop in a guard ``scf.if (lb < ub)``, preserving the
+    original semantics.  Used when kernels have runtime trip counts.
+    """
+
+    NAME = "sycl-licm-versioned"
+
+    def _process_loop(self, loop: Operation) -> int:
+        trip_count = _loop_trip_count(loop)
+        if trip_count is not None:
+            return super()._process_loop(loop)
+        if not isinstance(loop, (affine_dialect.AffineForOp, scf_dialect.ForOp)):
+            return 0
+        guarded = self._guard_loop(loop)
+        if guarded is None:
+            return 0
+        return super()._process_loop(guarded)
+
+    def _guard_loop(self, loop: Operation) -> Optional[Operation]:
+        parent_block = loop.parent
+        if parent_block is None:
+            return None
+        lower = loop.lower_bound
+        upper = loop.upper_bound
+        cmp = arith.CmpIOp.build("slt", lower, upper)
+        parent_block.insert_before(loop, cmp)
+        if_op = scf_dialect.IfOp.build(cmp.result)
+        parent_block.insert_after(cmp, if_op)
+        loop.detach()
+        if_op.then_block.append(loop)
+        if_op.then_block.append(scf_dialect.YieldOp.build())
+        return loop

@@ -1,0 +1,129 @@
+"""Premature lowering of SYCL accessor semantics (baseline modeling).
+
+LLVM-IR based SYCL compilers (DPC++, AdaptiveCpp's SSCP flow) lower accessor
+accesses to raw pointer arithmetic long before the optimization pipeline
+runs; the structured, SYCL-level information — which accessor an access
+belongs to, the access matrix, accessor non-overlap facts — is lost
+(paper, Sections I and II-B).
+
+This pass performs that lowering on our device IR so the baseline compiler
+models in :mod:`repro.frontend.driver` optimize the same kernels *without*
+SYCL semantics:
+
+* ``sycl.accessor.subscript`` + the ``sycl.constructor`` building its index
+  are replaced by explicit row-major address arithmetic on the raw data
+  pointer (``sycl.accessor.get_pointer``), using ``sycl.accessor.get_mem_range``
+  for the strides;
+* loads/stores through the subscript result become plain ``memref.load`` /
+  ``memref.store`` on the raw pointer.
+
+The work-item queries remain (they model SPIR-V builtins and are executable
+by the simulator); what is lost is exactly what the paper says is lost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import Operation, Value, index
+from ..dialects import affine as affine_dialect
+from ..dialects import arith
+from ..dialects import memref as memref_dialect
+from ..dialects.func import FuncOp
+from ..dialects.sycl import (
+    SYCLAccessorGetMemRangeOp,
+    SYCLAccessorGetPointerOp,
+    SYCLAccessorSubscriptOp,
+    SYCLConstructorOp,
+    accessor_type_of,
+)
+from .canonicalize import erase_dead_ops
+from .pass_manager import CompileReport, FunctionPass
+
+
+class LowerAccessorSubscripts(FunctionPass):
+    """Expands accessor subscripts into raw pointer arithmetic."""
+
+    NAME = "lower-sycl-accessors"
+
+    def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        #: Raw pointer per accessor value, so repeated subscripts share it.
+        pointers: Dict[int, Value] = {}
+        subscripts = [op for op in function.walk()
+                      if isinstance(op, SYCLAccessorSubscriptOp)]
+        for subscript in subscripts:
+            if subscript.parent is None:
+                continue
+            if self._lower_subscript(subscript, pointers):
+                report.add_statistic(self.NAME, "subscripts_lowered")
+        erase_dead_ops(function)
+
+    # ------------------------------------------------------------------
+    def _lower_subscript(self, subscript: SYCLAccessorSubscriptOp,
+                         pointers: Dict[int, Value]) -> bool:
+        accessor = subscript.accessor
+        accessor_type = accessor_type_of(accessor)
+        if accessor_type is None:
+            return False
+        index_components = self._index_components(subscript)
+        if index_components is None:
+            return False
+
+        block = subscript.parent
+        insert_before = subscript
+
+        def emit(op: Operation) -> Operation:
+            block.insert_before(insert_before, op)
+            return op
+
+        # Row-major linearization: offset = ((i0 * d1 + i1) * d2 + i2) ...
+        linear: Optional[Value] = None
+        rank = accessor_type.dimensions
+        for dim, component in enumerate(index_components):
+            if linear is None:
+                linear = component
+            else:
+                extent = emit(SYCLAccessorGetMemRangeOp.build(
+                    accessor, emit(arith.ConstantOp.build(dim, index())).result))
+                scaled = emit(arith.MulIOp.build(linear, extent.result))
+                linear = emit(arith.AddIOp.build(scaled.result, component)).result
+        if linear is None:
+            linear = emit(arith.ConstantOp.build(0, index())).result
+
+        pointer = pointers.get(id(accessor))
+        if pointer is None:
+            pointer_op = SYCLAccessorGetPointerOp.build(accessor)
+            # Place the get_pointer right before the first use to keep
+            # dominance simple; later CSE/LICM may move it.
+            block.insert_before(insert_before, pointer_op)
+            pointer = pointer_op.results[0]
+            pointers[id(accessor)] = pointer
+
+        # Rewrite every load/store going through the subscript result.
+        for user in list(subscript.results[0].users()):
+            if isinstance(user, (affine_dialect.AffineLoadOp,
+                                 memref_dialect.LoadOp)):
+                replacement = memref_dialect.LoadOp.build(pointer, [linear])
+                user.parent.insert_before(user, replacement)
+                user.replace_all_uses_with([replacement.result])
+                user.erase()
+            elif isinstance(user, (affine_dialect.AffineStoreOp,
+                                   memref_dialect.StoreOp)):
+                replacement = memref_dialect.StoreOp.build(
+                    user.value, pointer, [linear])
+                user.parent.insert_before(user, replacement)
+                user.erase()
+            else:
+                return False
+        subscript.erase()
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_components(subscript: SYCLAccessorSubscriptOp) -> Optional[List[Value]]:
+        id_value = subscript.index
+        for user in id_value.users():
+            if isinstance(user, SYCLConstructorOp) and user.destination is id_value:
+                return list(user.arguments)
+        # Direct scalar index (1-D accessor subscripted with an index value).
+        return [id_value]

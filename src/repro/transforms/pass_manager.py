@@ -1,0 +1,142 @@
+"""Pass infrastructure: passes, pipelines and compile reports.
+
+Mirrors MLIR's pass manager at the granularity this project needs: passes
+run on a module or on every function, can be grouped into pipelines, and
+record what they did in a :class:`CompileReport` so the evaluation harness
+can attribute speedups to individual optimizations (paper, Section VIII).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..ir import Operation
+from ..dialects.builtin import ModuleOp
+from ..dialects.func import FuncOp
+
+
+@dataclass
+class PassStatistic:
+    """One named counter reported by a pass."""
+
+    pass_name: str
+    name: str
+    value: int = 0
+
+
+@dataclass
+class CompileReport:
+    """Aggregated record of what the optimization pipeline did."""
+
+    statistics: List[PassStatistic] = field(default_factory=list)
+    remarks: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def add_statistic(self, pass_name: str, name: str, value: int = 1) -> None:
+        for stat in self.statistics:
+            if stat.pass_name == pass_name and stat.name == name:
+                stat.value += value
+                return
+        self.statistics.append(PassStatistic(pass_name, name, value))
+
+    def get_statistic(self, pass_name: str, name: str) -> int:
+        for stat in self.statistics:
+            if stat.pass_name == pass_name and stat.name == name:
+                return stat.value
+        return 0
+
+    def remark(self, message: str) -> None:
+        self.remarks.append(message)
+
+    def merge(self, other: "CompileReport") -> None:
+        for stat in other.statistics:
+            self.add_statistic(stat.pass_name, stat.name, stat.value)
+        self.remarks.extend(other.remarks)
+        for key, value in other.timings.items():
+            self.timings[key] = self.timings.get(key, 0.0) + value
+
+    def summary(self) -> str:
+        lines = ["Compile report:"]
+        for stat in self.statistics:
+            lines.append(f"  {stat.pass_name}: {stat.name} = {stat.value}")
+        for remark in self.remarks:
+            lines.append(f"  remark: {remark}")
+        return "\n".join(lines)
+
+
+class Pass:
+    """Base class of all passes."""
+
+    #: Human-readable pass name (used in reports and statistics).
+    NAME = "pass"
+
+    def run(self, op: Operation, report: CompileReport) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.NAME}>"
+
+
+class FunctionPass(Pass):
+    """A pass applied to every function in a module (or a bare function)."""
+
+    def run(self, op: Operation, report: CompileReport) -> None:
+        for function in self._functions(op):
+            self.run_on_function(function, report)
+
+    def run_on_function(self, function: FuncOp,
+                        report: CompileReport) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def _functions(op: Operation) -> Iterable[FuncOp]:
+        if isinstance(op, FuncOp):
+            return [op]
+        return [f for f in op.walk() if isinstance(f, FuncOp)]
+
+
+class ModulePass(Pass):
+    """A pass that needs to see the whole module at once."""
+
+    def run(self, op: Operation, report: CompileReport) -> None:
+        self.run_on_module(op, report)
+
+    def run_on_module(self, module: Operation,
+                      report: CompileReport) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes and collects a compile report."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None,
+                 verify_after_each: bool = False):
+        self.passes: List[Pass] = list(passes or [])
+        self.verify_after_each = verify_after_each
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, op: Operation,
+            report: Optional[CompileReport] = None) -> CompileReport:
+        report = report if report is not None else CompileReport()
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(op, report)
+            elapsed = time.perf_counter() - start
+            report.timings[pass_.NAME] = report.timings.get(pass_.NAME, 0.0) + elapsed
+            if self.verify_after_each:
+                from ..ir import verify
+
+                verify(op)
+        return report
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.NAME for p in self.passes)
+        return f"<PassManager [{names}]>"

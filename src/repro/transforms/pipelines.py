@@ -1,0 +1,135 @@
+"""Standard pass pipelines for the three compiler models.
+
+* :func:`sycl_mlir_pipeline` — the paper's SYCL-MLIR flow: host raising,
+  host-device propagation, then the SYCL-aware device optimizations
+  (Loop Internalization, SYCL LICM, Detect Reduction) plus generic cleanup.
+* :func:`dpcpp_pipeline` — the DPC++ baseline: premature lowering of SYCL
+  accessor semantics followed by generic optimizations only.
+* :func:`adaptivecpp_pipeline` — the AdaptiveCpp (SSCP JIT) baseline ahead-
+  of-time part: premature lowering + generic optimizations; the runtime
+  specialization happens at launch time (see
+  :mod:`repro.transforms.specialization` and the compiler driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.alias import AliasAnalysis
+from ..analysis.sycl_alias import SYCLAliasAnalysis
+from .canonicalize import CanonicalizePass, DCEPass
+from .cse import CSEPass
+from .detect_reduction import DetectReduction
+from .host_device import HostDeviceOptimizationPass
+from .host_raising import HostRaisingPass
+from .licm import LoopInvariantCodeMotion
+from .loop_internalization import LoopInternalization
+from .lower_sycl import LowerAccessorSubscripts
+from .pass_manager import Pass, PassManager
+from .specialization import RuntimeCheckedAliasAnalysis
+
+
+@dataclass
+class OptimizationOptions:
+    """Feature toggles used by the drivers and the ablation benchmarks."""
+
+    licm: bool = True
+    detect_reduction: bool = True
+    loop_internalization: bool = True
+    host_device_propagation: bool = True
+    host_raising: bool = True
+    canonicalize: bool = True
+
+    @classmethod
+    def all_disabled(cls) -> "OptimizationOptions":
+        return cls(licm=False, detect_reduction=False,
+                   loop_internalization=False, host_device_propagation=False,
+                   host_raising=False, canonicalize=True)
+
+    def without(self, name: str) -> "OptimizationOptions":
+        options = OptimizationOptions(**self.__dict__)
+        if not hasattr(options, name):
+            raise ValueError(f"unknown optimization flag {name!r}")
+        setattr(options, name, False)
+        return options
+
+
+def sycl_mlir_pipeline(options: Optional[OptimizationOptions] = None) -> PassManager:
+    """The SYCL-MLIR optimization pipeline (host + device, Sections V-VII)."""
+    options = options or OptimizationOptions()
+    alias = SYCLAliasAnalysis()
+    passes: List[Pass] = []
+    if options.canonicalize:
+        passes.extend([CanonicalizePass(), CSEPass()])
+    if options.host_raising:
+        passes.append(HostRaisingPass())
+    if options.host_device_propagation:
+        passes.append(HostDeviceOptimizationPass())
+    if options.canonicalize:
+        passes.append(CanonicalizePass())
+    if options.loop_internalization:
+        passes.append(LoopInternalization())
+    if options.licm:
+        passes.append(LoopInvariantCodeMotion(alias_analysis=alias))
+    if options.detect_reduction:
+        passes.append(DetectReduction(alias_analysis=alias))
+    if options.canonicalize:
+        passes.extend([CanonicalizePass(), CSEPass(), DCEPass()])
+    return PassManager(passes)
+
+
+def dpcpp_pipeline(options: Optional[OptimizationOptions] = None) -> PassManager:
+    """The DPC++ baseline: premature lowering + generic optimizations.
+
+    The generic optimizations use the dialect-independent alias analysis, so
+    accessor-derived pointers conservatively may alias, which blocks scalar
+    promotion of array reductions — the behaviour the paper attributes to
+    LLVM-IR based flows.
+    """
+    options = options or OptimizationOptions()
+    alias = AliasAnalysis()
+    passes: List[Pass] = [
+        CanonicalizePass(),
+        CSEPass(),
+        LowerAccessorSubscripts(),
+        CanonicalizePass(),
+        CSEPass(),
+    ]
+    if options.licm:
+        passes.append(LoopInvariantCodeMotion(alias_analysis=alias))
+    if options.detect_reduction:
+        passes.append(DetectReduction(alias_analysis=alias))
+    passes.extend([CanonicalizePass(), CSEPass(), DCEPass()])
+    return PassManager(passes)
+
+
+def adaptivecpp_aot_pipeline() -> PassManager:
+    """AdaptiveCpp ahead-of-time part: lowering + light cleanup only."""
+    return PassManager([
+        CanonicalizePass(),
+        CSEPass(),
+        LowerAccessorSubscripts(),
+        CanonicalizePass(),
+        CSEPass(),
+    ])
+
+
+def adaptivecpp_jit_pipeline() -> PassManager:
+    """AdaptiveCpp launch-time (JIT) optimizations after specialization.
+
+    The runtime-checked alias analysis trusts the disjointness facts the JIT
+    observes at launch, enabling LICM of accessor metadata and scalar
+    promotion of reductions (with the cost of JIT-ing accounted separately
+    by the compiler driver).
+    """
+    alias = RuntimeCheckedAliasAnalysis()
+    return PassManager([
+        CanonicalizePass(),
+        CSEPass(),
+        LoopInvariantCodeMotion(alias_analysis=alias),
+        DetectReduction(alias_analysis=alias),
+        CanonicalizePass(),
+        CSEPass(),
+        DCEPass(),
+    ])

@@ -1,0 +1,87 @@
+"""Rewrite pattern infrastructure (greedy pattern application).
+
+A small analogue of MLIR's pattern rewriter: patterns match a single
+operation and use the :class:`PatternRewriter` to mutate the IR.  The greedy
+driver repeatedly applies patterns until a fixed point (bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..ir import Builder, InsertionPoint, IRError, Operation, Value
+
+
+class PatternRewriter(Builder):
+    """Builder with replace/erase notifications used by patterns."""
+
+    def __init__(self):
+        super().__init__()
+        self.changed = False
+
+    def replace_op(self, op: Operation, new_values: Sequence[Value]) -> None:
+        op.replace_all_uses_with(list(new_values))
+        op.erase()
+        self.changed = True
+
+    def replace_op_with(self, op: Operation, new_op: Operation) -> Operation:
+        new_op.detach()
+        op.parent.insert_before(op, new_op)
+        self.replace_op(op, new_op.results)
+        return new_op
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.changed = True
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class for rewrite patterns."""
+
+    #: Optional operation name filter; None means "try on every operation".
+    ROOT_OP: Optional[str] = None
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: PatternRewriter) -> bool:  # pragma: no cover
+        """Return True if the pattern applied."""
+        raise NotImplementedError
+
+
+#: Upper bound on greedy driver iterations, to guarantee termination even for
+#: misbehaving patterns.
+MAX_PATTERN_ITERATIONS = 32
+
+
+def apply_patterns_greedily(root: Operation,
+                            patterns: Iterable[RewritePattern]) -> bool:
+    """Apply ``patterns`` to all operations nested under ``root``.
+
+    Returns True if the IR changed.  Matching restarts after every sweep that
+    made a change so patterns can build on each other's results.
+    """
+    pattern_list: List[RewritePattern] = list(patterns)
+    changed_any = False
+    for _ in range(MAX_PATTERN_ITERATIONS):
+        rewriter = PatternRewriter()
+        sweep_changed = False
+        for op in list(root.walk(include_self=False)):
+            if op.parent is None:
+                continue  # already erased during this sweep
+            for pattern in pattern_list:
+                if pattern.ROOT_OP is not None and op.name != pattern.ROOT_OP:
+                    continue
+                rewriter.set_insertion_point_before(op)
+                try:
+                    applied = pattern.match_and_rewrite(op, rewriter)
+                except IRError:
+                    applied = False
+                if applied:
+                    sweep_changed = True
+                    break
+        if not sweep_changed:
+            break
+        changed_any = True
+    return changed_any

@@ -1,0 +1,138 @@
+"""Shared helpers for building test IR mirroring the paper's listings."""
+
+from __future__ import annotations
+
+from repro.dialects import affine, arith, builtin, func, memref, scf, sycl
+from repro.ir import (
+    Builder,
+    DYNAMIC,
+    InsertionPoint,
+    MemRefType,
+    StringAttr,
+    UnitAttr,
+    f32,
+    i1,
+    i32,
+    i64,
+    index,
+    memref as memref_type,
+)
+
+
+def build_listing1_function():
+    """Listing 1: a function with potentially aliasing memref arguments.
+
+    .. code-block:: text
+
+        func.func @foo(%cond: i1, %v1: i32, %v2: i32,
+                       %ptr1: memref<i32>, %ptr2: memref<i32>) {
+          scf.if %cond {
+            memref.store %v1, %ptr1[] {tag = "a"}
+          } else {
+            memref.store %v2, %ptr2[] {tag = "b"}
+          }
+          ... = memref.load %ptr1[]
+        }
+    """
+    scalar_memref = MemRefType((), i32())
+    f = func.FuncOp.build(
+        "foo", [i1(), i32(), i32(), scalar_memref, scalar_memref],
+        arg_names=["cond", "v1", "v2", "ptr1", "ptr2"])
+    cond, v1, v2, ptr1, ptr2 = f.arguments
+    b = Builder(InsertionPoint.at_end(f.body))
+    if_op = b.insert(scf.IfOp.build(cond, with_else=True))
+    store_a = scf.IfOp and memref.StoreOp.build(v1, ptr1)
+    store_a.set_attr("tag", StringAttr("a"))
+    if_op.then_block.append(store_a)
+    if_op.then_block.append(scf.YieldOp.build())
+    store_b = memref.StoreOp.build(v2, ptr2)
+    store_b.set_attr("tag", StringAttr("b"))
+    if_op.else_block.append(store_b)
+    if_op.else_block.append(scf.YieldOp.build())
+    load = b.insert(memref.LoadOp.build(ptr1))
+    b.insert(func.ReturnOp.build())
+    return f, {"store_a": store_a, "store_b": store_b, "load": load,
+               "ptr1": ptr1, "ptr2": ptr2}
+
+
+def build_listing2_function():
+    """Listing 2: a function with a divergent branch.
+
+    The global id of an nd_item feeds a branch condition; both branch arms
+    store different values to the same alloca, and a load of that alloca
+    feeds a second branch, which is therefore divergent as well.
+    """
+    nd_item_memref = sycl.memref_of(sycl.NDItemType(2))
+    f = func.FuncOp.build("non_uniform", [nd_item_memref, index()],
+                          arg_names=["nd_item", "idx"])
+    f.set_attr("sycl.kernel", UnitAttr())
+    nd_item, idx = f.arguments
+    b = Builder(InsertionPoint.at_end(f.body))
+    c0_i32 = b.insert(arith.ConstantOp.build(0, i32()))
+    c0 = b.insert(arith.ConstantOp.build(0, i64()))
+    c1 = b.insert(arith.ConstantOp.build(1, i64()))
+    c2 = b.insert(arith.ConstantOp.build(2, i64()))
+    alloca = b.insert(memref.AllocaOp.build(memref_type([10], i64())))
+    gid_x = b.insert(sycl.SYCLNDItemGetGlobalIDOp.build(nd_item, c0_i32.result))
+    cond = b.insert(arith.CmpIOp.build("sgt", gid_x.result, c0.result))
+    if_op = b.insert(scf.IfOp.build(cond.result, with_else=True))
+    store_then = memref.StoreOp.build(c1.result, alloca.result, [idx])
+    if_op.then_block.append(store_then)
+    if_op.then_block.append(scf.YieldOp.build())
+    store_else = memref.StoreOp.build(c2.result, alloca.result, [idx])
+    if_op.else_block.append(store_else)
+    if_op.else_block.append(scf.YieldOp.build())
+    load = b.insert(memref.LoadOp.build(alloca.result, [idx]))
+    cond1 = b.insert(arith.CmpIOp.build("sgt", load.result, c0.result))
+    if_op2 = b.insert(scf.IfOp.build(cond1.result))
+    if_op2.then_block.append(scf.YieldOp.build())
+    b.insert(func.ReturnOp.build())
+    return f, {"gid_x": gid_x, "cond": cond, "cond1": cond1, "load": load,
+               "if_op": if_op, "if_op2": if_op2}
+
+
+def build_listing3_function():
+    """Listing 3: kernel loop with the paper's access-matrix example.
+
+    The access index is ``[gid_x + 1, 2*i, 2*i + 2 + gid_y]`` where ``i`` is
+    the loop induction variable.
+    """
+    acc_type = sycl.AccessorType(3, f32())
+    item_type = sycl.ItemType(2)
+    f = func.FuncOp.build(
+        "mem_acc", [sycl.memref_of(acc_type), sycl.memref_of(item_type)],
+        arg_names=["acc", "item"])
+    f.set_attr("sycl.kernel", UnitAttr())
+    acc, item = f.arguments
+    b = Builder(InsertionPoint.at_end(f.body))
+    c0_i32 = b.insert(arith.ConstantOp.build(0, i32()))
+    c1_i32 = b.insert(arith.ConstantOp.build(1, i32()))
+    c0 = b.insert(arith.ConstantOp.build(0, index()))
+    c1 = b.insert(arith.ConstantOp.build(1, index()))
+    c2 = b.insert(arith.ConstantOp.build(2, index()))
+    c64 = b.insert(arith.ConstantOp.build(64, index()))
+    id_alloca = b.insert(memref.AllocaOp.build(
+        memref_type([1], sycl.IDType(3))))
+    gid_x = b.insert(sycl.SYCLItemGetIDOp.build(item, c0_i32.result))
+    gid_y = b.insert(sycl.SYCLItemGetIDOp.build(item, c1_i32.result))
+    loop = b.insert(affine.AffineForOp.build(c0.result, c64.result, 1))
+    lb = Builder(InsertionPoint.at_end(loop.body))
+    iv = loop.induction_variable()
+    add1 = lb.insert(arith.AddIOp.build(gid_x.result, c1.result))
+    mul1 = lb.insert(arith.MulIOp.build(iv, c2.result))
+    add1a = lb.insert(arith.AddIOp.build(mul1.result, c2.result))
+    add1b = lb.insert(arith.AddIOp.build(add1a.result, gid_y.result))
+    lb.insert(sycl.SYCLConstructorOp.build(
+        "id", id_alloca.result, [add1.result, mul1.result, add1b.result]))
+    subscript = lb.insert(sycl.SYCLAccessorSubscriptOp.build(acc, id_alloca.result))
+    load = lb.insert(affine.AffineLoadOp.build(subscript.result, [c0.result]))
+    lb.insert(affine.AffineYieldOp.build())
+    b.insert(func.ReturnOp.build())
+    return f, {"load": load, "loop": loop, "gid_x": gid_x, "gid_y": gid_y}
+
+
+def wrap_in_module(*functions):
+    module = builtin.ModuleOp.build("test")
+    for function in functions:
+        module.append(function)
+    return module
