@@ -12,4 +12,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": [
+            "repro-opt = repro.tools.repro_opt:main",
+        ],
+    },
 )

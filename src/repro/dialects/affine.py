@@ -17,6 +17,8 @@ from ..ir import (
     IndexType,
     IntegerAttr,
     LoopLikeInterface,
+    int_array_attr,
+    int_array_values,
     MemoryEffect,
     MemoryEffectsInterface,
     MemRefType,
@@ -181,17 +183,26 @@ class AffineApplyOp(Operation):
               constant: int = 0) -> "AffineApplyOp":
         if len(coefficients) != len(operands):
             raise ValueError("coefficient / operand count mismatch")
-        op = cls(operands=tuple(operands), result_types=(IndexType(),),
-                 attributes={"constant": IntegerAttr(int(constant), i64())})
-        op.coefficients = [int(c) for c in coefficients]
-        return op
+        # Coefficients are a real attribute so the op prints, parses and
+        # CSEs with its full semantics.
+        return cls(operands=tuple(operands), result_types=(IndexType(),),
+                   attributes={"constant": IntegerAttr(int(constant), i64()),
+                               "coefficients": int_array_attr(
+                                   coefficients, i64())})
+
+    @property
+    def coefficients(self) -> List[int]:
+        return int_array_values(self.attributes.get("coefficients"))
 
     def fold(self):
+        coefficients = self.coefficients
+        if len(coefficients) != len(self.operands):
+            return None  # malformed (e.g. hand-written IR); don't guess
         values = [constant_value_of(v) for v in self.operands]
         if any(v is None for v in values):
             return None
         total = self.get_int_attr("constant", 0)
-        for coeff, value in zip(self.coefficients, values):
+        for coeff, value in zip(coefficients, values):
             total += coeff * int(value)
         return [IntegerAttr(total, i64())]
 

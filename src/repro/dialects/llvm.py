@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..ir import (
+    ArrayAttr,
     Block,
     CallOpInterface,
     Dialect,
@@ -211,13 +212,23 @@ class LLVMGEPOp(Operation):
     @classmethod
     def build(cls, base: Value, indices: Sequence[Value] = (),
               static_offsets: Sequence[int] = ()) -> "LLVMGEPOp":
-        op = cls(operands=(base, *indices), result_types=(PointerType(),))
-        op.static_offsets = [int(i) for i in static_offsets]
-        return op
+        # Offsets are a real attribute so they print, parse, and take part
+        # in CSE's structural identity.
+        from ..ir import i64, int_array_attr
+
+        return cls(operands=(base, *indices), result_types=(PointerType(),),
+                   attributes={"static_offsets": int_array_attr(
+                       static_offsets, i64())})
 
     @property
     def base(self) -> Value:
         return self.operands[0]
+
+    @property
+    def static_offsets(self) -> List[int]:
+        from ..ir import int_array_values
+
+        return int_array_values(self.attributes.get("static_offsets"))
 
 
 @register_op
@@ -259,6 +270,28 @@ class LLVMAddressOfOp(Operation):
     def build(cls, global_name: str) -> "LLVMAddressOfOp":
         return cls(operands=(), result_types=(PointerType(),),
                    attributes={"global_name": StringAttr(global_name)})
+
+
+from ..ir import StructType  # noqa: E402  (grouped with the parser hook)
+
+
+def parse_llvm_type(text, parse_type):
+    """Dialect type-parser hook for printed ``!llvm.*`` types.
+
+    ``text`` is the full raw spelling after ``!``.  Handles ``!llvm.ptr``,
+    ``!llvm.ptr<T>`` and ``!llvm.struct<'name'>``; returns None for
+    unrecognized spellings.
+    """
+    if text == "llvm.ptr":
+        return PointerType()
+    if text.startswith("llvm.ptr<") and text.endswith(">"):
+        return PointerType(parse_type(text[len("llvm.ptr<"):-1]))
+    if text.startswith("llvm.struct<") and text.endswith(">"):
+        name = text[len("llvm.struct<"):-1].strip()
+        if len(name) >= 2 and name[0] == name[-1] and name[0] in "'\"":
+            name = name[1:-1]
+        return StructType(name)
+    return None
 
 
 class LLVMDialect(Dialect):

@@ -21,6 +21,7 @@ operation (Sections V-B, VI-A).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -614,6 +615,50 @@ def is_sycl_type(type_: Type) -> bool:
     return isinstance(type_, (IDType, RangeType, ItemType, NDItemType, GroupType,
                               NDRangeType, AccessorType, BufferType, QueueType,
                               HandlerType))
+
+
+#: Maps the printed suffix of simple dimensioned SYCL types to their class.
+_DIMENSIONED_TYPES = {
+    "id": IDType,
+    "range": RangeType,
+    "item": ItemType,
+    "nd_item": NDItemType,
+    "group": GroupType,
+    "nd_range": NDRangeType,
+}
+
+_ACCESSOR_TYPE_RE = re.compile(
+    r"sycl_accessor_(\d+)_(.+?)_(read_write|read|write)(_local)?$")
+_BUFFER_TYPE_RE = re.compile(r"sycl_buffer_(\d+)_(.+)$")
+_DIMENSIONED_TYPE_RE = re.compile(
+    r"sycl_(nd_item|nd_range|id|range|item|group)_(\d+)$")
+
+
+def parse_sycl_type(text, parse_type):
+    """Dialect type-parser hook resolving printed ``!sycl_...`` types.
+
+    ``text`` is the full raw spelling after ``!`` and may embed angle
+    brackets from a parameterized element type (e.g.
+    ``sycl_buffer_1_memref<4xf32>``).  Registered with
+    :func:`repro.dialects.register_type_parser`; returns None for
+    unrecognized spellings so the IR parser can report the error.
+    """
+    if text == "sycl_queue":
+        return QueueType()
+    if text == "sycl_handler":
+        return HandlerType()
+    m = _ACCESSOR_TYPE_RE.match(text)
+    if m:
+        target = "local" if m.group(4) else "device"
+        return AccessorType(int(m.group(1)), parse_type(m.group(2)),
+                            m.group(3), target)
+    m = _BUFFER_TYPE_RE.match(text)
+    if m:
+        return BufferType(int(m.group(1)), parse_type(m.group(2)))
+    m = _DIMENSIONED_TYPE_RE.match(text)
+    if m:
+        return _DIMENSIONED_TYPES[m.group(1)](int(m.group(2)))
+    return None
 
 
 #: Device operations that yield per-work-item (non-uniform) values.

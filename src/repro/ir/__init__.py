@@ -20,6 +20,8 @@ from .attributes import (
     array_attr,
     bool_attr,
     float_attr,
+    int_array_attr,
+    int_array_values,
     int_attr,
     str_attr,
     symbol_ref,
@@ -45,6 +47,14 @@ from .operations import (
     lookup_op_class,
     register_op,
     registered_operations,
+)
+from .parser import (
+    ParseError,
+    Parser,
+    parse_attribute,
+    parse_module,
+    parse_op,
+    parse_type,
 )
 from .printer import Printer, print_op
 from .traits import Trait, has_trait
@@ -79,8 +89,8 @@ from .verifier import VerificationError, collect_symbols, verify
 __all__ = [
     "ArrayAttr", "Attribute", "BoolAttr", "DenseElementsAttr", "DictAttr",
     "FloatAttr", "IntegerAttr", "StringAttr", "SymbolRefAttr", "TypeAttr",
-    "UnitAttr", "array_attr", "bool_attr", "float_attr", "int_attr",
-    "str_attr", "symbol_ref",
+    "UnitAttr", "array_attr", "bool_attr", "float_attr", "int_array_attr",
+    "int_array_values", "int_attr", "str_attr", "symbol_ref",
     "Builder", "InsertionPoint",
     "Context", "Dialect", "default_context",
     "DominanceInfo", "properly_dominates",
@@ -89,6 +99,8 @@ __all__ = [
     "is_side_effect_free",
     "Block", "IRError", "Operation", "Region", "lookup_op_class",
     "register_op", "registered_operations",
+    "ParseError", "Parser", "parse_attribute", "parse_module", "parse_op",
+    "parse_type",
     "Printer", "print_op",
     "Trait", "has_trait",
     "DYNAMIC", "FloatType", "FunctionType", "IndexType", "IntegerType",

@@ -46,7 +46,9 @@ class StringAttr(Attribute):
     value: str
 
     def __str__(self) -> str:
-        return f'"{self.value}"'
+        escaped = (self.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
 
 
 @dataclass(frozen=True)
@@ -93,16 +95,22 @@ class ArrayAttr(Attribute):
 
 @dataclass(frozen=True)
 class DenseElementsAttr(Attribute):
-    """Constant tensor/array data, e.g. a constant filter for a convolution."""
+    """Constant tensor/array data, e.g. a constant filter for a convolution.
+
+    Prints *all* values plus the shape and element type
+    (``dense<[1, 2, 3, 4] : 2x2xi64>``) so the textual form is a lossless
+    serialization the parser can reconstruct exactly.
+    """
 
     values: Tuple[Any, ...]
     shape: Tuple[int, ...]
     element_type: Type
 
     def __str__(self) -> str:
-        body = ", ".join(str(v) for v in self.values[:8])
-        suffix = ", ..." if len(self.values) > 8 else ""
-        return f"dense<[{body}{suffix}]>"
+        body = ", ".join(str(v) for v in self.values)
+        dims = "x".join(str(d) for d in self.shape)
+        type_ = f"{dims}x{self.element_type}" if dims else str(self.element_type)
+        return f"dense<[{body}] : {type_}>"
 
 
 @dataclass(frozen=True)
@@ -150,3 +158,19 @@ def symbol_ref(root: str, *nested: str) -> SymbolRefAttr:
 
 def array_attr(values) -> ArrayAttr:
     return ArrayAttr(tuple(values))
+
+
+def int_array_attr(values, type_: Type) -> ArrayAttr:
+    """An ``ArrayAttr`` of ``IntegerAttr``\\ s, e.g. for static offsets."""
+    return ArrayAttr(tuple(IntegerAttr(int(v), type_) for v in values))
+
+
+def int_array_values(attr) -> list:
+    """Integer payload of an ``ArrayAttr`` of ``IntegerAttr``\\ s.
+
+    Returns ``[]`` for missing/malformed attributes so accessors over
+    parsed (possibly hand-written) IR degrade gracefully.
+    """
+    if not isinstance(attr, ArrayAttr):
+        return []
+    return [a.value for a in attr if isinstance(a, IntegerAttr)]

@@ -1,0 +1,643 @@
+"""Textual IR parser for the MLIR-generic syntax emitted by the printer.
+
+Accepts the generic operation form::
+
+    %0 = "arith.addi"(%a, %b) {attrs} : (i64, i64) -> (i64)
+
+including nested regions, blocks with arguments, successor lists and the
+full type grammar (``i32``, ``f32``, ``index``, ``memref<...>``, function
+types and ``!``-prefixed dialect types resolved through the dialect type
+parser registry in :mod:`repro.dialects`).
+
+Together with :mod:`repro.ir.printer` this gives a verified serialization
+layer: for any module ``m`` built programmatically,
+``print(parse(print(m)))`` reproduces ``print(m)`` exactly.  The parser is
+whitespace-insensitive and supports ``//`` line comments so textual test
+cases can be annotated.
+
+Operation classes are resolved through the operation registry
+(:func:`repro.ir.operations.lookup_op_class`); parsing an op name that is
+not registered is an error unless ``allow_unregistered`` is set.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseElementsAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from .operations import (
+    Block,
+    Operation,
+    Region,
+    lookup_op_class,
+    registered_operations,
+)
+from .traits import Trait, has_trait
+from .types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    Type,
+    VectorType,
+    is_float,
+)
+from .values import Value
+
+
+class ParseError(Exception):
+    """Raised on malformed textual IR, with 1-based line/column info."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None):
+        if line is not None:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$.]*")
+_IDENT_CHAR_RE = re.compile(r"[A-Za-z0-9_$.]")
+_VALUE_ID_RE = re.compile(r"%([A-Za-z0-9_$.]+)")
+_NUMBER_RE = re.compile(r"-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|inf|nan)")
+_SUCCESSOR_RE = re.compile(r"\^bb(\d+)")
+_INTEGER_TYPE_RE = re.compile(r"i(\d+)$")
+_FLOAT_TYPE_RE = re.compile(r"f(\d+)$")
+_DIM_RE = re.compile(r"(\?|\d+)x")
+
+
+class _Scope:
+    """One SSA name scope; ``isolated`` scopes stop outward name lookup."""
+
+    def __init__(self, isolated: bool):
+        self.isolated = isolated
+        self.values: Dict[str, Value] = {}
+
+
+class Parser:
+    """Recursive-descent parser over the printed generic syntax."""
+
+    def __init__(self, text: str, allow_unregistered: bool = False):
+        self.text = text
+        self.pos = 0
+        self.allow_unregistered = allow_unregistered
+        self._scopes: List[_Scope] = [_Scope(isolated=True)]
+
+    # ------------------------------------------------------------------
+    # Low-level scanning
+    # ------------------------------------------------------------------
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end == -1 else end
+            else:
+                break
+
+    def _at_end(self) -> bool:
+        self._skip_ws()
+        return self.pos >= len(self.text)
+
+    def _peek(self, literal: str) -> bool:
+        self._skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def _consume(self, literal: str) -> bool:
+        if self._peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def _expect(self, literal: str, context: str = "") -> None:
+        if not self._consume(literal):
+            where = f" {context}" if context else ""
+            found = self.text[self.pos:self.pos + 12] or "<end of input>"
+            self.error(f"expected {literal!r}{where}, found {found!r}")
+
+    def _match(self, pattern: re.Pattern) -> Optional[str]:
+        self._skip_ws()
+        m = pattern.match(self.text, self.pos)
+        if m is None:
+            return None
+        self.pos = m.end()
+        return m.group(0)
+
+    def _match_group(self, pattern: re.Pattern) -> Optional[str]:
+        self._skip_ws()
+        m = pattern.match(self.text, self.pos)
+        if m is None:
+            return None
+        self.pos = m.end()
+        return m.group(1)
+
+    def error(self, message: str) -> None:
+        consumed = self.text[:self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        raise ParseError(message, line, column)
+
+    # ------------------------------------------------------------------
+    # SSA value scoping
+    # ------------------------------------------------------------------
+    def _define_value(self, name: str, value: Value) -> None:
+        scope = self._scopes[-1]
+        if name in scope.values:
+            self.error(f"redefinition of value %{name}")
+        scope.values[name] = value
+
+    def _lookup_value(self, name: str) -> Value:
+        for scope in reversed(self._scopes):
+            if name in scope.values:
+                return scope.values[name]
+            if scope.isolated:
+                break
+        self.error(f"use of undefined value %{name}")
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def parse_operation(
+            self,
+            successor_sink: Optional[List[Tuple[Operation, List[int]]]] = None,
+    ) -> Operation:
+        result_names = self._parse_result_names()
+        op_name = self._parse_string_literal("operation name")
+        operand_names = self._parse_operand_names()
+        attributes = self._parse_attr_dict() if self._peek("{") else {}
+        self._expect(":", "before the operation signature")
+        in_types = self._parse_paren_type_list()
+        self._expect("->", "in the operation signature")
+        out_types = self._parse_paren_type_list()
+
+        if len(operand_names) != len(in_types):
+            self.error(
+                f"'{op_name}' has {len(operand_names)} operands but its "
+                f"signature lists {len(in_types)} operand types")
+        operands = []
+        for name, declared in zip(operand_names, in_types):
+            value = self._lookup_value(name)
+            if value.type != declared:
+                self.error(
+                    f"type mismatch for operand %{name} of '{op_name}': "
+                    f"value has type {value.type} but the signature "
+                    f"declares {declared}")
+            operands.append(value)
+        if len(result_names) != len(out_types):
+            self.error(
+                f"'{op_name}' binds {len(result_names)} results but its "
+                f"signature lists {len(out_types)} result types")
+
+        op = self._create_operation(op_name, operands, out_types, attributes)
+        for res, name in zip(op.results, result_names):
+            res.name_hint = name
+            self._define_value(name, res)
+
+        if self._peek("["):
+            indices = self._parse_successor_indices()
+            if successor_sink is None:
+                self.error(
+                    f"'{op_name}' lists successors outside of a region")
+            successor_sink.append((op, indices))
+
+        if self._peek("("):
+            self._parse_region_list(op)
+        return op
+
+    def _parse_result_names(self) -> List[str]:
+        names: List[str] = []
+        if not self._peek("%"):
+            return names
+        while True:
+            name = self._match_group(_VALUE_ID_RE)
+            if name is None:
+                self.error("expected a result name after '%'")
+            names.append(name)
+            if not self._consume(","):
+                break
+        self._expect("=", "after the operation result list")
+        return names
+
+    _STRING_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+    def _parse_string_literal(self, what: str) -> str:
+        self._skip_ws()
+        if not self._consume('"'):
+            found = self.text[self.pos:self.pos + 12] or "<end of input>"
+            self.error(f"expected {what} in double quotes, found {found!r}")
+        chars: List[str] = []
+        i = self.pos
+        while i < len(self.text):
+            ch = self.text[i]
+            if ch == '"':
+                self.pos = i + 1
+                return "".join(chars)
+            if ch == "\\" and i + 1 < len(self.text):
+                chars.append(self._STRING_ESCAPES.get(
+                    self.text[i + 1], self.text[i + 1]))
+                i += 2
+            else:
+                chars.append(ch)
+                i += 1
+        self.error(f"unterminated string literal in {what}")
+        raise AssertionError("unreachable")
+
+    def _parse_operand_names(self) -> List[str]:
+        self._expect("(", "before the operand list")
+        names: List[str] = []
+        if not self._consume(")"):
+            while True:
+                name = self._match_group(_VALUE_ID_RE)
+                if name is None:
+                    self.error("expected an operand name ('%value')")
+                names.append(name)
+                if not self._consume(","):
+                    break
+            self._expect(")", "after the operand list")
+        return names
+
+    def _parse_successor_indices(self) -> List[int]:
+        self._expect("[")
+        indices: List[int] = []
+        while True:
+            label = self._match_group(_SUCCESSOR_RE)
+            if label is None:
+                self.error("expected a successor label ('^bbN')")
+            indices.append(int(label))
+            if not self._consume(","):
+                break
+        self._expect("]", "after the successor list")
+        return indices
+
+    def _create_operation(self, name: str, operands: Sequence[Value],
+                          result_types: Sequence[Type],
+                          attributes: Dict[str, Attribute]) -> Operation:
+        op_class = lookup_op_class(name)
+        if op_class is None:
+            if self.allow_unregistered:
+                op = Operation(operands=operands, result_types=result_types,
+                               attributes=attributes)
+                op.OPERATION_NAME = name
+                return op
+            close = difflib.get_close_matches(name, registered_operations(), 1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            self.error(f"unknown operation {name!r}{hint}")
+        op = op_class.__new__(op_class)
+        Operation.__init__(op, operands=operands, result_types=result_types,
+                           attributes=attributes)
+        return op
+
+    # ------------------------------------------------------------------
+    # Regions and blocks
+    # ------------------------------------------------------------------
+    def _parse_region_list(self, op: Operation) -> None:
+        self._expect("(")
+        while self._peek("{"):
+            self._parse_region(op)
+        self._expect(")", "after the region list")
+
+    def _parse_region(self, op: Operation) -> None:
+        self._expect("{")
+        region = Region(op)
+        op.regions.append(region)
+        self._scopes.append(_Scope(has_trait(op, Trait.ISOLATED_FROM_ABOVE)))
+        label_map: Dict[int, Block] = {}
+        fixups: List[Tuple[Operation, List[int]]] = []
+        current: Optional[Block] = None
+        while not self._peek("}"):
+            if self._at_end():
+                self.error(
+                    f"unbalanced region in '{op.name}': missing '}}' before "
+                    "end of input")
+            if self._peek("^"):
+                label, block = self._parse_block_header()
+                if label in label_map:
+                    self.error(f"duplicate block label ^bb{label}")
+                region.add_block(block)
+                label_map[label] = block
+                current = block
+            else:
+                if current is None:
+                    current = region.add_block(Block())
+                    label_map.setdefault(0, current)
+                current.append(self.parse_operation(fixups))
+        self._expect("}")
+        if not region.blocks:
+            # An empty region body stands for one empty block (builders always
+            # materialize entry blocks, and `region.front` relies on it).
+            region.add_block(Block())
+        for branch, indices in fixups:
+            successors = []
+            for index in indices:
+                target = label_map.get(index)
+                if target is None:
+                    self.error(
+                        f"'{branch.name}' references undefined block "
+                        f"^bb{index}")
+                successors.append(target)
+            branch.successors = successors
+        self._scopes.pop()
+
+    def _parse_block_header(self) -> Tuple[int, Block]:
+        label = self._match_group(_SUCCESSOR_RE)
+        if label is None:
+            self.error("expected a block label ('^bbN')")
+        block = Block()
+        if self._consume("("):
+            if not self._consume(")"):
+                while True:
+                    name = self._match_group(_VALUE_ID_RE)
+                    if name is None:
+                        self.error("expected a block argument name")
+                    self._expect(":", "after the block argument name")
+                    arg = block.add_argument(self.parse_type(), name)
+                    self._define_value(name, arg)
+                    if not self._consume(","):
+                        break
+                self._expect(")", "after the block argument list")
+        self._expect(":", "after the block label")
+        return int(label), block
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _parse_paren_type_list(self) -> List[Type]:
+        self._expect("(", "before a type list")
+        types: List[Type] = []
+        if not self._consume(")"):
+            while True:
+                types.append(self.parse_type())
+                if not self._consume(","):
+                    break
+            self._expect(")", "after a type list")
+        return types
+
+    def parse_type(self) -> Type:
+        if self._peek("("):
+            inputs = self._parse_paren_type_list()
+            self._expect("->", "in a function type")
+            results = self._parse_paren_type_list()
+            return FunctionType(tuple(inputs), tuple(results))
+        if self._peek("!"):
+            return self._parse_dialect_type()
+        ident = self._match(_IDENT_RE)
+        if ident is None:
+            found = self.text[self.pos:self.pos + 12] or "<end of input>"
+            self.error(f"expected a type, found {found!r}")
+        if ident == "index":
+            return IndexType()
+        if ident == "none":
+            return NoneType()
+        if ident == "memref":
+            return self._parse_memref_body()
+        if ident == "vector":
+            return self._parse_vector_body()
+        m = _INTEGER_TYPE_RE.match(ident)
+        if m and m.end() == len(ident):
+            return IntegerType(int(m.group(1)))
+        m = _FLOAT_TYPE_RE.match(ident)
+        if m and m.end() == len(ident):
+            return FloatType(int(m.group(1)))
+        self.error(f"unknown type {ident!r}")
+        raise AssertionError("unreachable")
+
+    def _parse_shape(self) -> Tuple[int, ...]:
+        shape: List[int] = []
+        while True:
+            self._skip_ws()
+            m = _DIM_RE.match(self.text, self.pos)
+            if m is None:
+                break
+            self.pos = m.end()
+            dim = m.group(1)
+            shape.append(DYNAMIC if dim == "?" else int(dim))
+        return tuple(shape)
+
+    def _parse_memref_body(self) -> MemRefType:
+        self._expect("<", "after 'memref'")
+        shape = self._parse_shape()
+        element = self.parse_type()
+        memory_space = "global"
+        if self._consume(","):
+            space = self._match(_IDENT_RE)
+            if space is None:
+                self.error("expected a memory space name in memref type")
+            memory_space = space
+        self._expect(">", "after the memref element type")
+        return MemRefType(shape, element, memory_space)
+
+    def _parse_vector_body(self) -> VectorType:
+        self._expect("<", "after 'vector'")
+        shape = self._parse_shape()
+        element = self.parse_type()
+        self._expect(">", "after the vector element type")
+        return VectorType(shape, element)
+
+    def _parse_dialect_type(self) -> Type:
+        self._expect("!")
+        self._skip_ws()
+        start = self.pos
+        if _IDENT_RE.match(self.text, self.pos) is None:
+            self.error("expected a dialect type name after '!'")
+        # Take the full raw spelling: identifier characters interleaved with
+        # balanced <...> groups (e.g. `sycl_accessor_1_memref<4xf32>_read`)
+        # and embedded `!` from nested dialect-type elements
+        # (`sycl_buffer_1_!sycl_id_2`).
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "<":
+                self._skip_balanced_angle()
+            elif ch == "!" or _IDENT_CHAR_RE.match(ch):
+                self.pos += 1
+            else:
+                break
+        raw = self.text[start:self.pos]
+        # The dialect namespace is the leading identifier run, up to the
+        # first '.', '_', '<' or nested '!' ("sycl" in "sycl_buffer_1_...",
+        # "llvm" in "llvm.ptr<...>").
+        dialect = re.match(r"[A-Za-z$][A-Za-z0-9$]*", raw).group(0)
+        from ..dialects import lookup_type_parser
+
+        type_parser = lookup_type_parser(dialect)
+        if type_parser is None:
+            self.error(
+                f"no type parser registered for dialect {dialect!r} "
+                f"(while parsing '!{raw}')")
+        result = type_parser(raw, parse_type)
+        if result is None:
+            self.error(f"dialect {dialect!r} cannot parse type '!{raw}'")
+        return result
+
+    def _skip_balanced_angle(self) -> None:
+        assert self.text[self.pos] == "<"
+        depth = 0
+        for i in range(self.pos, len(self.text)):
+            ch = self.text[i]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+                if depth == 0:
+                    self.pos = i + 1
+                    return
+        self.error("unbalanced '<...>' in dialect type")
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    def _parse_attr_dict(self) -> Dict[str, Attribute]:
+        self._expect("{")
+        attrs: Dict[str, Attribute] = {}
+        if not self._consume("}"):
+            while True:
+                key = self._match(_IDENT_RE)
+                if key is None:
+                    self.error("expected an attribute name")
+                self._expect("=", "after the attribute name")
+                attrs[key] = self.parse_attribute()
+                if not self._consume(","):
+                    break
+            self._expect("}", "after the attribute dictionary")
+        return attrs
+
+    def parse_attribute(self) -> Attribute:
+        if self._consume("true"):
+            return BoolAttr(True)
+        if self._consume("false"):
+            return BoolAttr(False)
+        if self._consume("unit"):
+            return UnitAttr()
+        if self._peek('"'):
+            return StringAttr(self._parse_string_literal("string attribute"))
+        if self._peek("@"):
+            return self._parse_symbol_ref()
+        if self._peek("["):
+            return self._parse_array_attr()
+        if self._consume("dense"):
+            return self._parse_dense_attr()
+        self._skip_ws()
+        if self.text.startswith("{", self.pos):
+            return DictAttr(tuple(self._parse_attr_dict().items()))
+        number = self._match(_NUMBER_RE)
+        if number is not None:
+            self._expect(":", "after a numeric attribute value")
+            type_ = self.parse_type()
+            if is_float(type_):
+                return FloatAttr(float(number), type_)
+            try:
+                return IntegerAttr(int(number), type_)
+            except ValueError:
+                self.error(f"invalid integer literal {number!r} for "
+                           f"type {type_}")
+        return TypeAttr(self.parse_type())
+
+    def _parse_symbol_ref(self) -> SymbolRefAttr:
+        self._expect("@")
+        root = self._match(_IDENT_RE)
+        if root is None:
+            self.error("expected a symbol name after '@'")
+        nested: List[str] = []
+        while self._consume("::"):
+            self._expect("@", "in a nested symbol reference")
+            name = self._match(_IDENT_RE)
+            if name is None:
+                self.error("expected a nested symbol name after '::@'")
+            nested.append(name)
+        return SymbolRefAttr(root, tuple(nested))
+
+    def _parse_array_attr(self) -> ArrayAttr:
+        self._expect("[")
+        elements: List[Attribute] = []
+        if not self._consume("]"):
+            while True:
+                elements.append(self.parse_attribute())
+                if not self._consume(","):
+                    break
+            self._expect("]", "after the array attribute")
+        return ArrayAttr(tuple(elements))
+
+    def _parse_dense_attr(self) -> DenseElementsAttr:
+        self._expect("<", "after 'dense'")
+        self._expect("[", "in a dense attribute")
+        values: List[object] = []
+        if not self._consume("]"):
+            while True:
+                if self._peek("..."):
+                    self.error(
+                        "dense attribute contains a truncation marker "
+                        "('...'); the data cannot be reconstructed")
+                number = self._match(_NUMBER_RE)
+                if number is None:
+                    self.error("expected a number in dense attribute")
+                if any(c in number for c in ".eE") or \
+                        number.lstrip("-") in ("inf", "nan"):
+                    values.append(float(number))
+                else:
+                    values.append(int(number))
+                if not self._consume(","):
+                    break
+            self._expect("]", "after the dense attribute values")
+        self._expect(":", "before the dense attribute shape")
+        shape = self._parse_shape()
+        element_type = self.parse_type()
+        self._expect(">", "after the dense attribute")
+        return DenseElementsAttr(tuple(values), shape, element_type)
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+def parse_op(text: str, allow_unregistered: bool = False) -> Operation:
+    """Parse a single top-level operation; the whole input must be used."""
+    parser = Parser(text, allow_unregistered=allow_unregistered)
+    if parser._at_end():
+        parser.error("empty input: expected an operation")
+    op = parser.parse_operation()
+    if not parser._at_end():
+        parser.error("unexpected trailing input after the top-level operation")
+    return op
+
+
+def parse_module(text: str, allow_unregistered: bool = False) -> Operation:
+    """Parse textual IR holding one top-level op (typically a module)."""
+    return parse_op(text, allow_unregistered=allow_unregistered)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a standalone type from ``text`` (used by dialect type hooks)."""
+    parser = Parser(text)
+    type_ = parser.parse_type()
+    if not parser._at_end():
+        parser.error("unexpected trailing input after the type")
+    return type_
+
+
+def parse_attribute(text: str) -> Attribute:
+    """Parse a standalone attribute value from ``text``."""
+    parser = Parser(text)
+    attr = parser.parse_attribute()
+    if not parser._at_end():
+        parser.error("unexpected trailing input after the attribute")
+    return attr

@@ -4,14 +4,16 @@ Produces MLIR-flavoured generic syntax such as::
 
     %0 = "arith.addi"(%arg0, %c1) : (i64, i64) -> i64
 
-The printer is deterministic and purely for humans / tests; there is no
-round-tripping parser (IR is constructed programmatically via builders).
+The printer is deterministic and round-trips through
+:mod:`repro.ir.parser`: ``parse_module(print(m))`` rebuilds the module and
+re-prints to the identical text, which makes the printed form a verified
+serialization layer rather than a debug aid only.
 """
 
 from __future__ import annotations
 
 from io import StringIO
-from typing import Dict
+from typing import Dict, Set
 
 from .operations import Block, Operation, Region
 from .values import BlockArgument, Value
@@ -21,6 +23,7 @@ class Printer:
     def __init__(self, indent_width: int = 2):
         self.indent_width = indent_width
         self._names: Dict[int, str] = {}
+        self._used: Set[str] = set()
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -28,20 +31,28 @@ class Printer:
         key = id(value)
         if key not in self._names:
             if value.name_hint:
-                name = f"%{value.name_hint}"
-                if name in self._names.values():
-                    name = f"%{value.name_hint}_{self._next_id}"
-                    self._next_id += 1
+                name = self._uniqued(f"%{value.name_hint}")
             elif isinstance(value, BlockArgument):
-                name = f"%arg{value.arg_index}"
-                if name in self._names.values():
-                    name = f"%arg{value.arg_index}_{self._next_id}"
-                    self._next_id += 1
+                name = self._uniqued(f"%arg{value.arg_index}")
             else:
-                name = f"%{self._next_id}"
-                self._next_id += 1
+                name = self._next_anonymous()
             self._names[key] = name
+            self._used.add(name)
         return self._names[key]
+
+    def _uniqued(self, base: str) -> str:
+        name = base
+        while name in self._used:
+            name = f"{base}_{self._next_id}"
+            self._next_id += 1
+        return name
+
+    def _next_anonymous(self) -> str:
+        while True:
+            name = f"%{self._next_id}"
+            self._next_id += 1
+            if name not in self._used:
+                return name
 
     # ------------------------------------------------------------------
     def print_module(self, module: Operation) -> str:
@@ -53,6 +64,16 @@ class Printer:
         return out.getvalue().rstrip("\n")
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _block_label(block: Block) -> str:
+        """Label of a block: its index within its parent region."""
+        region = block.parent
+        if region is not None:
+            for index, candidate in enumerate(region.blocks):
+                if candidate is block:
+                    return f"^bb{index}"
+        return "^bb?"
+
     def _print_op(self, op: Operation, out: StringIO, indent: int) -> None:
         pad = " " * (indent * self.indent_width)
         results = ", ".join(self.value_name(res) for res in op.results)
@@ -68,7 +89,7 @@ class Printer:
         signature = f" : ({in_types}) -> ({out_types})"
         out.write(f"{pad}{prefix}\"{op.name}\"({operands}){attrs}{signature}")
         if op.successors:
-            names = ", ".join(f"^bb{i}" for i, _ in enumerate(op.successors))
+            names = ", ".join(self._block_label(s) for s in op.successors)
             out.write(f" [{names}]")
         if op.regions:
             out.write(" (")

@@ -1,0 +1,8 @@
+"""Command-line tools for the reproduction (mlir-opt-style drivers).
+
+The driver lives in :mod:`repro.tools.repro_opt`; it is deliberately not
+imported here so ``python -m repro.tools.repro_opt`` runs without a
+double-import RuntimeWarning.
+"""
+
+__all__ = ["repro_opt"]

@@ -1,0 +1,125 @@
+"""``repro-opt`` — an ``mlir-opt`` analogue for the reproduction's IR.
+
+Reads textual IR (file or stdin), verifies it, runs either a
+comma-separated pass pipeline (``--passes canonicalize,cse``) or one of the
+paper's full compiler-model pipelines (``--pipeline sycl-mlir``), verifies
+the result, and prints the optimized IR.  The compile report (statistics
+and remarks collected by the passes) can be dumped with ``--report``.
+
+This is the workflow MLIR passes are developed against: every transform
+gets textual before/after test cases runnable through this driver (see
+``docs/textual_ir.md`` and the FileCheck-lite helper in ``tests/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..dialects import all_dialects  # noqa: F401 - registers ops and types
+from ..ir import ParseError, Printer, VerificationError, parse_module, verify
+from ..transforms.pipelines import (
+    NAMED_PIPELINES,
+    available_passes,
+    build_named_pipeline,
+    parse_pass_pipeline,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description="Parse, optimize and re-print textual IR.")
+    parser.add_argument(
+        "input", nargs="?", default="-",
+        help="input IR file, or '-' for stdin (default)")
+    parser.add_argument(
+        "-o", "--output", default="-",
+        help="output file, or '-' for stdout (default)")
+    parser.add_argument(
+        "--passes", default=None, metavar="SPEC",
+        help="comma-separated pass pipeline, e.g. 'canonicalize,cse,licm'")
+    parser.add_argument(
+        "--pipeline", default=None, choices=sorted(NAMED_PIPELINES),
+        help="run a full compiler-model pipeline instead of --passes")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip IR verification before and after the pipeline")
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the compile report (statistics, remarks) to stderr")
+    parser.add_argument(
+        "--allow-unregistered", action="store_true",
+        help="accept operations not present in the operation registry")
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list registered pass names and exit")
+    return parser
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write_output(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.list_passes:
+        print("\n".join(available_passes()))
+        return 0
+    if args.passes and args.pipeline:
+        print("repro-opt: --passes and --pipeline are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    try:
+        text = _read_input(args.input)
+    except OSError as exc:
+        print(f"repro-opt: cannot read {args.input!r}: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        module = parse_module(text, allow_unregistered=args.allow_unregistered)
+    except ParseError as exc:
+        print(f"repro-opt: parse error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if not args.no_verify:
+            verify(module)
+        if args.pipeline:
+            manager = build_named_pipeline(args.pipeline)
+        elif args.passes:
+            manager = parse_pass_pipeline(args.passes)
+        else:
+            manager = None
+        report = manager.run(module) if manager is not None else None
+        if not args.no_verify:
+            verify(module)
+    except VerificationError as exc:
+        print(f"repro-opt: verification failed: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"repro-opt: {exc}", file=sys.stderr)
+        return 2
+
+    _write_output(args.output, Printer().print_module(module) + "\n")
+    if args.report and report is not None:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

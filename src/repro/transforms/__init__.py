@@ -30,10 +30,14 @@ from .pipelines import (
     OptimizationOptions,
     adaptivecpp_aot_pipeline,
     adaptivecpp_jit_pipeline,
+    available_passes,
+    build_named_pipeline,
     dpcpp_pipeline,
+    parse_pass_pipeline,
     sycl_mlir_pipeline,
 )
 from .rewrite import (
+    NonConvergenceWarning,
     PatternRewriter,
     RewritePattern,
     apply_patterns_greedily,
@@ -54,7 +58,9 @@ __all__ = [
     "CompileReport", "FunctionPass", "ModulePass", "Pass", "PassManager",
     "PassStatistic",
     "OptimizationOptions", "adaptivecpp_aot_pipeline",
-    "adaptivecpp_jit_pipeline", "dpcpp_pipeline", "sycl_mlir_pipeline",
-    "PatternRewriter", "RewritePattern", "apply_patterns_greedily",
+    "adaptivecpp_jit_pipeline", "available_passes", "build_named_pipeline",
+    "dpcpp_pipeline", "parse_pass_pipeline", "sycl_mlir_pipeline",
+    "NonConvergenceWarning", "PatternRewriter", "RewritePattern",
+    "apply_patterns_greedily",
     "RuntimeCheckedAliasAnalysis", "specialize_kernel",
 ]

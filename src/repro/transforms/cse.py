@@ -10,15 +10,14 @@ from .pass_manager import CompileReport, FunctionPass
 
 
 def _operation_key(op: Operation) -> Tuple:
-    """Structural identity of a side-effect free operation."""
+    """Structural identity of a side-effect free operation.
+
+    Semantics-bearing state (e.g. affine.apply coefficients, GEP static
+    offsets) lives in ``op.attributes`` and is covered by ``attr_key``.
+    """
     attr_key = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
-    extra = tuple(
-        (name, tuple(value) if isinstance(value, list) else value)
-        for name, value in sorted(op.__dict__.items())
-        if name in ("coefficients", "static_offsets")
-    )
     return (op.name, tuple(id(v) for v in op.operands), attr_key,
-            tuple(str(r.type) for r in op.results), extra)
+            tuple(str(r.type) for r in op.results))
 
 
 class CSEPass(FunctionPass):

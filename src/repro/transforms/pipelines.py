@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..analysis.alias import AliasAnalysis
 from ..analysis.sycl_alias import SYCLAliasAnalysis
@@ -113,6 +113,93 @@ def adaptivecpp_aot_pipeline() -> PassManager:
         CanonicalizePass(),
         CSEPass(),
     ])
+
+
+# ---------------------------------------------------------------------------
+# Textual pass pipeline specifications (the `repro-opt --passes` language)
+# ---------------------------------------------------------------------------
+
+#: Registry mapping textual pass names to zero-argument pass factories.
+#: Keys follow each pass's ``NAME`` plus a few mlir-opt-flavoured aliases.
+PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {
+    "canonicalize": CanonicalizePass,
+    "cse": CSEPass,
+    "dce": DCEPass,
+    "licm": lambda: LoopInvariantCodeMotion(alias_analysis=SYCLAliasAnalysis()),
+    "sycl-licm": lambda: LoopInvariantCodeMotion(
+        alias_analysis=SYCLAliasAnalysis()),
+    "licm-generic": lambda: LoopInvariantCodeMotion(
+        alias_analysis=AliasAnalysis()),
+    "detect-reduction": lambda: DetectReduction(
+        alias_analysis=SYCLAliasAnalysis()),
+    "detect-reduction-generic": lambda: DetectReduction(
+        alias_analysis=AliasAnalysis()),
+    "loop-internalization": LoopInternalization,
+    "host-raising": HostRaisingPass,
+    "host-device-propagation": HostDeviceOptimizationPass,
+    "lower-sycl-accessors": LowerAccessorSubscripts,
+}
+
+
+def available_passes() -> List[str]:
+    """Sorted names accepted by :func:`parse_pass_pipeline`."""
+    return sorted(PASS_REGISTRY)
+
+
+def parse_pass_pipeline(spec: str) -> PassManager:
+    """Build a :class:`PassManager` from a spec like ``"canonicalize,cse"``.
+
+    The spec is a comma-separated list of registered pass names (see
+    :func:`available_passes`); whitespace around names is ignored.
+    """
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise ValueError("empty pass pipeline specification")
+    passes: List[Pass] = []
+    for name in names:
+        factory = PASS_REGISTRY.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown pass {name!r}; available passes: "
+                f"{', '.join(available_passes())}")
+        passes.append(factory())
+    return PassManager(passes)
+
+
+def _options_free(name: str, builder: Callable[[], PassManager]):
+    """Wrap a pipeline that takes no options; reject options explicitly."""
+
+    def build(options: Optional[OptimizationOptions] = None) -> PassManager:
+        if options is not None:
+            raise ValueError(
+                f"pipeline {name!r} does not accept optimization options")
+        return builder()
+
+    return build
+
+
+#: Full compiler-model pipelines selectable by name (`repro-opt --pipeline`).
+NAMED_PIPELINES: Dict[str, Callable[[Optional[OptimizationOptions]],
+                                    PassManager]] = {
+    "sycl-mlir": sycl_mlir_pipeline,
+    "dpcpp": dpcpp_pipeline,
+    "adaptivecpp-aot": _options_free(
+        "adaptivecpp-aot", lambda: adaptivecpp_aot_pipeline()),
+    "adaptivecpp-jit": _options_free(
+        "adaptivecpp-jit", lambda: adaptivecpp_jit_pipeline()),
+}
+
+
+def build_named_pipeline(
+        name: str,
+        options: Optional[OptimizationOptions] = None) -> PassManager:
+    """Instantiate one of the paper's three compiler-model pipelines."""
+    builder = NAMED_PIPELINES.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown pipeline {name!r}; available pipelines: "
+            f"{', '.join(sorted(NAMED_PIPELINES))}")
+    return builder(options)
 
 
 def adaptivecpp_jit_pipeline() -> PassManager:

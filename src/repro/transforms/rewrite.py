@@ -7,6 +7,7 @@ driver repeatedly applies patterns until a fixed point (bounded).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, List, Optional, Sequence
 
 from ..ir import Builder, InsertionPoint, IRError, Operation, Value
@@ -55,16 +56,33 @@ class RewritePattern:
 MAX_PATTERN_ITERATIONS = 32
 
 
+class NonConvergenceWarning(RuntimeWarning):
+    """Emitted when greedy pattern application hits its iteration bound."""
+
+
 def apply_patterns_greedily(root: Operation,
-                            patterns: Iterable[RewritePattern]) -> bool:
+                            patterns: Iterable[RewritePattern],
+                            max_iterations: int = MAX_PATTERN_ITERATIONS,
+                            on_nonconvergence: str = "warn") -> bool:
     """Apply ``patterns`` to all operations nested under ``root``.
 
     Returns True if the IR changed.  Matching restarts after every sweep that
     made a change so patterns can build on each other's results.
+
+    If the driver still makes changes after ``max_iterations`` sweeps the
+    pattern set did not reach a fixed point (e.g. two patterns undoing each
+    other).  Depending on ``on_nonconvergence`` this raises ``IRError``
+    (``"error"``) or emits a :class:`NonConvergenceWarning` (``"warn"``,
+    the default) instead of silently returning possibly-unnormalized IR.
     """
+    if on_nonconvergence not in ("warn", "error"):
+        raise ValueError(
+            f"on_nonconvergence must be 'warn' or 'error', "
+            f"got {on_nonconvergence!r}")
     pattern_list: List[RewritePattern] = list(patterns)
     changed_any = False
-    for _ in range(MAX_PATTERN_ITERATIONS):
+    converged = False
+    for _ in range(max_iterations):
         rewriter = PatternRewriter()
         sweep_changed = False
         for op in list(root.walk(include_self=False)):
@@ -82,6 +100,16 @@ def apply_patterns_greedily(root: Operation,
                     sweep_changed = True
                     break
         if not sweep_changed:
+            converged = True
             break
         changed_any = True
+    if not converged:
+        names = ", ".join(sorted({type(p).__name__ for p in pattern_list}))
+        message = (
+            f"greedy pattern application on '{root.name}' did not converge "
+            f"within {max_iterations} iterations; the IR may not be fully "
+            f"normalized (patterns: {names})")
+        if on_nonconvergence == "error":
+            raise IRError(message)
+        warnings.warn(message, NonConvergenceWarning, stacklevel=2)
     return changed_any

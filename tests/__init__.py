@@ -1,0 +1,2 @@
+"""Test package marker so relative imports (``from .helpers import ...``)
+resolve during pytest collection."""

@@ -1,0 +1,8 @@
+"""Pytest configuration: make ``repro`` importable without installation."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,122 @@
+"""FileCheck-lite: ordered substring assertions over textual IR.
+
+A tiny analogue of LLVM's FileCheck so transform tests can be written as
+textual before/after cases::
+
+    filecheck(optimized_ir, '''
+        CHECK: "func.func"
+        CHECK: %c = "arith.constant"
+        CHECK-NOT: "arith.constant"
+        CHECK-NEXT: "arith.addi"
+    ''')
+
+Supported directives (matched as plain substrings, in order):
+
+* ``CHECK: <text>`` — some later line contains ``<text>``;
+* ``CHECK-NEXT: <text>`` — the line immediately after the previous match
+  contains ``<text>``;
+* ``CHECK-SAME: <text>`` — the previously matched line also contains
+  ``<text>`` after the previous match position;
+* ``CHECK-NOT: <text>`` — ``<text>`` does not occur between the previous
+  match and the next positive match (or the end of input).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_DIRECTIVE_RE = re.compile(
+    r"CHECK(?P<kind>-NEXT|-SAME|-NOT)?:\s?(?P<text>.*\S|)")
+
+
+class FileCheckError(AssertionError):
+    """Raised when the input text does not satisfy the check script."""
+
+
+def parse_checks(script: str) -> List[Tuple[str, str]]:
+    """Extract ``(kind, text)`` directives from a check script."""
+    checks: List[Tuple[str, str]] = []
+    for line in script.splitlines():
+        m = _DIRECTIVE_RE.search(line)
+        if m is None:
+            continue
+        kind = "CHECK" + (m.group("kind") or "")
+        text = m.group("text").strip()
+        if not text:
+            raise FileCheckError(
+                f"{kind}: directive has an empty pattern (line: "
+                f"{line.strip()!r})")
+        checks.append((kind, text))
+    return checks
+
+
+def filecheck(text: str, script: str) -> None:
+    """Assert that ``text`` satisfies the directives in ``script``."""
+    checks = parse_checks(script)
+    if not checks:
+        raise FileCheckError("check script contains no CHECK directives")
+    lines = text.splitlines()
+    cursor = 0  # index of the first line not yet consumed by a match
+    last_line = -1
+    last_col = 0
+    pending_not: List[str] = []
+
+    def check_nots(until: int, until_col: int = -1) -> None:
+        """Forbid pending patterns in lines[cursor:until] and, when
+        ``until_col`` is given, in the match line's prefix before the
+        positive match."""
+        for pattern in pending_not:
+            for i in range(cursor, until):
+                if pattern in lines[i]:
+                    raise FileCheckError(
+                        f"CHECK-NOT: {pattern!r} found on line {i + 1}: "
+                        f"{lines[i].strip()!r}")
+            if until_col >= 0 and until < len(lines) and \
+                    pattern in lines[until][:until_col]:
+                raise FileCheckError(
+                    f"CHECK-NOT: {pattern!r} found on line {until + 1} "
+                    f"before the next match: {lines[until].strip()!r}")
+        pending_not.clear()
+
+    for kind, pattern in checks:
+        if kind == "CHECK-NOT":
+            pending_not.append(pattern)
+            continue
+        if kind == "CHECK-SAME":
+            if last_line < 0:
+                raise FileCheckError("CHECK-SAME without a previous match")
+            col = lines[last_line].find(pattern, last_col)
+            if col == -1:
+                raise FileCheckError(
+                    f"CHECK-SAME: {pattern!r} not found on line "
+                    f"{last_line + 1}: {lines[last_line].strip()!r}")
+            last_col = col + len(pattern)
+            continue
+        if kind == "CHECK-NEXT":
+            if last_line < 0:
+                raise FileCheckError("CHECK-NEXT without a previous match")
+            target = last_line + 1
+            if target >= len(lines) or pattern not in lines[target]:
+                found = lines[target].strip() if target < len(lines) else \
+                    "<end of input>"
+                raise FileCheckError(
+                    f"CHECK-NEXT: {pattern!r} not on line {target + 1} "
+                    f"(found {found!r})")
+            check_nots(target, lines[target].find(pattern))
+            last_line = target
+            last_col = lines[target].find(pattern) + len(pattern)
+            cursor = target + 1
+            continue
+        # Plain CHECK: scan forward from the cursor.
+        for i in range(cursor, len(lines)):
+            if pattern in lines[i]:
+                check_nots(i, lines[i].find(pattern))
+                last_line = i
+                last_col = lines[i].find(pattern) + len(pattern)
+                cursor = i + 1
+                break
+        else:
+            raise FileCheckError(
+                f"CHECK: {pattern!r} not found after line {cursor}")
+    check_nots(len(lines))

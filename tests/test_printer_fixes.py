@@ -1,0 +1,74 @@
+"""Regression tests for printer naming and successor-label bugs."""
+
+import re
+
+from repro.dialects import arith, builtin
+from repro.ir import Block, Operation, Printer, Region, i64
+
+
+class TestNameCollisions:
+    def test_hint_collision_fallback_is_unique(self):
+        module = builtin.ModuleOp.build()
+        for value in (1, 2, 3):
+            op = arith.ConstantOp.build(value, i64())
+            op.result.name_hint = "c"
+            module.append(op)
+        text = Printer().print_module(module)
+        defined = re.findall(r"(%[A-Za-z0-9_.$]+) =", text)
+        assert len(defined) == 3
+        assert len(set(defined)) == 3, f"duplicate SSA names in:\n{text}"
+
+    def test_numeric_hint_does_not_collide_with_anonymous_names(self):
+        # A value whose hint prints as %0 must not clash with the first
+        # anonymous value (which would also be named %0).
+        module = builtin.ModuleOp.build()
+        hinted = arith.ConstantOp.build(1, i64())
+        hinted.result.name_hint = "0"
+        anonymous = arith.ConstantOp.build(2, i64())
+        module.append(hinted)
+        module.append(anonymous)
+        text = Printer().print_module(module)
+        defined = re.findall(r"(%[A-Za-z0-9_.$]+) =", text)
+        assert len(set(defined)) == 2, f"duplicate SSA names in:\n{text}"
+
+    def test_block_argument_fallback_is_unique(self):
+        printer = Printer()
+        block_a = Block([i64()])
+        block_b = Block([i64()])
+        names = {printer.value_name(block_a.arguments[0]),
+                 printer.value_name(block_b.arguments[0])}
+        assert len(names) == 2
+
+
+class TestSuccessorLabels:
+    def _graph_op(self):
+        """An op whose single region has three blocks and a back edge."""
+        op = Operation(regions=1)
+        region = op.regions[0]
+        blocks = [region.add_block(Block()) for _ in range(3)]
+        branch = Operation(successors=(blocks[2],))
+        blocks[0].append(branch)
+        skip = Operation(successors=(blocks[0], blocks[2]))
+        blocks[1].append(skip)
+        return op, branch, skip
+
+    def test_labels_use_region_block_index(self):
+        op, _, _ = self._graph_op()
+        text = Printer().print_op_to_string(op)
+        # The branch in ^bb0 targets the third block: must print ^bb2, not
+        # the successor's position in the successor list (^bb0).
+        lines = text.splitlines()
+        branch_line = next(l for l in lines if "[" in l)
+        assert "[^bb2]" in branch_line
+
+    def test_multiple_successors_print_their_own_indices(self):
+        op, _, _ = self._graph_op()
+        text = Printer().print_op_to_string(op)
+        assert "[^bb0, ^bb2]" in text
+
+    def test_detached_successor_prints_placeholder(self):
+        detached = Block()
+        branch = Operation(successors=(detached,))
+        parent = Operation(regions=1)
+        parent.regions[0].add_block(Block()).append(branch)
+        assert "^bb?" in Printer().print_op_to_string(parent)

@@ -1,0 +1,79 @@
+"""Regression tests: the greedy driver must report non-convergence."""
+
+import warnings
+
+import pytest
+
+from repro.dialects import arith, builtin
+from repro.ir import IntegerAttr, IRError, i64
+from repro.transforms.rewrite import (
+    NonConvergenceWarning,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+
+
+class _SetFlag(RewritePattern):
+    ROOT_OP = "arith.constant"
+
+    def match_and_rewrite(self, op, rewriter):
+        if op.get_int_attr("flag", 0) == 0:
+            op.set_attr("flag", IntegerAttr(1, i64()))
+            rewriter.notify_changed()
+            return True
+        return False
+
+
+class _ClearFlag(RewritePattern):
+    ROOT_OP = "arith.constant"
+
+    def match_and_rewrite(self, op, rewriter):
+        if op.get_int_attr("flag", 0) == 1:
+            op.set_attr("flag", IntegerAttr(0, i64()))
+            rewriter.notify_changed()
+            return True
+        return False
+
+
+def _module_with_constant():
+    module = builtin.ModuleOp.build()
+    module.append(arith.ConstantOp.build(1, i64()))
+    return module
+
+
+def test_ping_pong_patterns_warn():
+    module = _module_with_constant()
+    with pytest.warns(NonConvergenceWarning, match="did not converge"):
+        changed = apply_patterns_greedily(module, [_SetFlag(), _ClearFlag()])
+    assert changed  # the IR did change, it just never reached a fixed point
+
+
+def test_ping_pong_patterns_can_raise():
+    module = _module_with_constant()
+    with pytest.raises(IRError, match="did not converge"):
+        apply_patterns_greedily(module, [_SetFlag(), _ClearFlag()],
+                                on_nonconvergence="error")
+
+
+def test_invalid_on_nonconvergence_is_rejected():
+    module = _module_with_constant()
+    with pytest.raises(ValueError, match="must be 'warn' or 'error'"):
+        apply_patterns_greedily(module, [_SetFlag()],
+                                on_nonconvergence="raise")
+
+
+def test_converging_patterns_do_not_warn():
+    module = _module_with_constant()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", NonConvergenceWarning)
+        changed = apply_patterns_greedily(module, [_SetFlag()])
+    assert changed
+    assert module.body.operations[0].get_int_attr("flag") == 1
+
+
+def test_no_change_returns_false_without_warning():
+    module = _module_with_constant()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", NonConvergenceWarning)
+        changed = apply_patterns_greedily(module, [_ClearFlag()])
+    assert not changed
