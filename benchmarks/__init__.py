@@ -1,0 +1,18 @@
+"""Benchmark harness for the reproduction's compiler infrastructure.
+
+``benchmarks.generate`` builds synthetic-but-valid IR modules with tunable
+op count, loop nesting depth, CSE-duplicate density and SYCL-style kernel
+shapes; ``benchmarks.runner`` times parse / print / canonicalize / CSE /
+full-pipeline runs over them and emits a ``BENCH_<n>.json`` trajectory
+file.  ``benchmarks.legacy`` keeps the pre-worklist restart-sweep drivers
+alive so speedups can be attributed to the driver strategy, not to noise.
+
+Run it with::
+
+    PYTHONPATH=src:. python -m benchmarks.runner --out BENCH_2.json
+    PYTHONPATH=src:. python -m benchmarks.runner --smoke   # CI-sized
+"""
+
+from .generate import GeneratorConfig, generate_module
+
+__all__ = ["GeneratorConfig", "generate_module"]

@@ -1,0 +1,204 @@
+"""Benchmark runner: times the compiler's hot phases over synthetic IR.
+
+For every configuration the runner generates a module (deterministic per
+seed), then times, each on a freshly generated copy:
+
+* ``print``   — :class:`repro.ir.Printer` on the module;
+* ``parse``   — :func:`repro.ir.parse_module` of the printed text;
+* ``canonicalize`` / ``cse`` / ``canonicalize+cse`` — the optimization
+  passes through :class:`repro.transforms.PassManager`, so the per-pass
+  numbers come from ``CompileReport.timings``;
+* ``pipeline:adaptivecpp-aot`` — a full named pipeline end to end.
+
+With ``--compare-legacy`` the restart-sweep drivers preserved in
+:mod:`benchmarks.legacy` run on the same inputs, attributing speedups to
+the worklist rewrite engine rather than to machine noise.
+
+Results are written as JSON (``BENCH_2.json`` by convention — the number
+is the PR that produced it) so later PRs can extend the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.dialects import all_dialects  # noqa: F401 - registers ops/types
+from repro.ir import Printer, parse_module, verify
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.cse import CSEPass
+from repro.transforms.pass_manager import CompileReport, PassManager
+from repro.transforms.pipelines import build_named_pipeline
+
+from .generate import GeneratorConfig, count_ops, generate_module
+
+#: Default size ladder; ``--smoke`` keeps only the first entry.
+DEFAULT_SIZES = (500, 2000, 5000)
+
+
+def _time(callable_: Callable[[], object], repeats: int,
+          setup: Optional[Callable[[], object]] = None) -> float:
+    """Best-of-``repeats`` wall time in seconds.
+
+    ``setup`` runs outside the timed region before every repeat and its
+    return value is passed to ``callable_`` — pass timings must not charge
+    for regenerating the input module.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        argument = setup() if setup is not None else None
+        start = time.perf_counter()
+        if setup is not None:
+            callable_(argument)
+        else:
+            callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_passes(config: GeneratorConfig, passes,
+                 repeats: int) -> float:
+    return _time(lambda module: PassManager(list(passes)).run(module),
+                 repeats, setup=lambda: generate_module(config))
+
+
+def _run_passes(config: GeneratorConfig, passes) -> CompileReport:
+    module = generate_module(config)
+    return PassManager(list(passes)).run(module)
+
+
+def bench_config(config: GeneratorConfig, repeats: int = 3,
+                 compare_legacy: bool = False,
+                 check: bool = False) -> Dict:
+    """Benchmark one generator configuration; returns a JSON-able record."""
+    module = generate_module(config)
+    if check:
+        verify(module)
+    num_ops = count_ops(module)
+    text = Printer().print_module(module)
+
+    timings: Dict[str, float] = {}
+    timings["print"] = _time(lambda: Printer().print_module(module), repeats)
+    timings["parse"] = _time(lambda: parse_module(text), repeats)
+    timings["canonicalize"] = _time_passes(
+        config, [CanonicalizePass()], repeats)
+    timings["cse"] = _time_passes(config, [CSEPass()], repeats)
+    timings["canonicalize+cse"] = _time_passes(
+        config, [CanonicalizePass(), CSEPass()], repeats)
+    timings["pipeline:adaptivecpp-aot"] = _time(
+        lambda module: build_named_pipeline("adaptivecpp-aot").run(module),
+        repeats, setup=lambda: generate_module(config))
+
+    # Per-pass breakdown for the combined run (CompileReport.timings).
+    report = _run_passes(config, [CanonicalizePass(), CSEPass()])
+    pass_timings = dict(report.timings)
+    statistics = {f"{s.pass_name}.{s.name}": s.value
+                  for s in report.statistics}
+
+    record: Dict = {
+        "config": config.describe(),
+        "num_ops": num_ops,
+        "ir_bytes": len(text),
+        "timings_s": timings,
+        "pass_timings_s": pass_timings,
+        "statistics": statistics,
+    }
+
+    if compare_legacy:
+        from . import legacy
+
+        legacy_timings: Dict[str, float] = {}
+        legacy_timings["canonicalize+cse"] = _time(
+            legacy.run_legacy_canonicalize_cse,
+            repeats, setup=lambda: generate_module(config))
+        record["legacy_timings_s"] = legacy_timings
+        worklist = timings["canonicalize+cse"]
+        if worklist > 0:
+            record["legacy_speedup"] = (
+                legacy_timings["canonicalize+cse"] / worklist)
+    return record
+
+
+def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
+              compare_legacy: bool = False, check: bool = False,
+              nesting_depth: int = 2, duplicate_density: float = 0.25,
+              num_kernels: int = 2, seed: int = 0) -> Dict:
+    records: List[Dict] = []
+    for size in sizes:
+        config = GeneratorConfig(
+            num_ops=size, nesting_depth=nesting_depth,
+            duplicate_density=duplicate_density,
+            num_kernels=num_kernels, seed=seed)
+        records.append(bench_config(config, repeats=repeats,
+                                    compare_legacy=compare_legacy,
+                                    check=check))
+    return {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.runner",
+        description="Time parse/print/canonicalize/CSE/pipeline phases.")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write JSON results to FILE (default: stdout)")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated op counts "
+                             f"(default: {','.join(map(str, DEFAULT_SIZES))})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + 1 repeat + verification, for CI")
+    parser.add_argument("--compare-legacy", action="store_true",
+                        help="also time the pre-worklist restart-sweep "
+                             "drivers (benchmarks.legacy)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="embed FILE's results under 'baseline' "
+                             "(a previous BENCH_*.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes: List[int] = [200]
+        repeats = 1
+        check = True
+    else:
+        sizes = ([int(s) for s in args.sizes.split(",")]
+                 if args.sizes else list(DEFAULT_SIZES))
+        repeats = args.repeats
+        check = False
+
+    results = run_suite(sizes=sizes, repeats=repeats,
+                        compare_legacy=args.compare_legacy, check=check)
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            results["baseline"] = json.load(handle)
+
+    payload = json.dumps(results, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        summary = []
+        for record in results["records"]:
+            line = (f"{record['num_ops']} ops: "
+                    f"canonicalize+cse {record['timings_s']['canonicalize+cse']:.4f}s")
+            if "legacy_speedup" in record:
+                line += (f" (legacy "
+                         f"{record['legacy_timings_s']['canonicalize+cse']:.4f}s, "
+                         f"{record['legacy_speedup']:.1f}x speedup)")
+            summary.append(line)
+        print("\n".join(summary), file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,7 +80,7 @@ class StructuredDataFlowAnalysis(Generic[StateT]):
         self._before[id(op)] = state.copy()
 
     def _process_block(self, block, state: StateT) -> None:
-        for op in list(block.operations):
+        for op in block.operations:
             self._process_op(op, state)
 
     def _process_op(self, op: Operation, state: StateT) -> None:

@@ -80,7 +80,7 @@ class FuncOp(Operation):
 
     @property
     def is_declaration(self) -> bool:
-        return self.regions[0].empty or not self.body.operations
+        return self.regions[0].empty or self.body.first_op is None
 
     def is_kernel(self) -> bool:
         return "sycl.kernel" in self.attributes

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from .traits import Trait, has_trait
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .values import Value
 
@@ -127,8 +129,6 @@ def get_memory_effects(op) -> Optional[List[MemoryEffect]]:
 
     Pure operations (carrying :data:`Trait.PURE`) trivially have no effects.
     """
-    from .traits import Trait, has_trait
-
     if isinstance(op, MemoryEffectsInterface):
         return op.memory_effects()
     if has_trait(op, Trait.PURE) or has_trait(op, Trait.CONSTANT_LIKE):

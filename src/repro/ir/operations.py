@@ -45,6 +45,14 @@ class Operation:
         self.regions: List[Region] = [Region(self) for _ in range(regions)]
         self.successors: List[Block] = list(successors)
         self.parent: Optional[Block] = None
+        # Intrusive doubly-linked list through the parent block; maintained
+        # by Block so detach/insert/move/erase are O(1).
+        self._prev: Optional[Operation] = None
+        self._next: Optional[Operation] = None
+        #: Position key within the parent block (gaps between neighbours are
+        #: kept so insertions rarely force a renumbering); only meaningful
+        #: while attached.
+        self._order: int = 0
         for value in operands:
             self._append_operand(value)
 
@@ -169,13 +177,31 @@ class Operation:
             yield from region.blocks
 
     def walk(self, include_self: bool = True) -> Iterator["Operation"]:
-        """Pre-order traversal of this operation and all nested operations."""
+        """Pre-order traversal of this operation and all nested operations.
+
+        The traversal snapshots each block before descending into it, so
+        erasing the operation just yielded — or any operation nested inside
+        it — is safe while iterating.  Iterative (explicit stack) rather
+        than recursive: walks seed every worklist in the compiler, and
+        nested generator resumption dominated their cost.
+        """
+        stack: List[Operation] = []
+
+        def push_children(op: "Operation") -> None:
+            for region in reversed(op.regions):
+                for block in reversed(region.blocks):
+                    ops = block.operations
+                    ops.reverse()
+                    stack.extend(ops)
+
         if include_self:
-            yield self
-        for region in self.regions:
-            for block in region.blocks:
-                for op in list(block.operations):
-                    yield from op.walk(include_self=True)
+            stack.append(self)
+        else:
+            push_children(self)
+        while stack:
+            op = stack.pop()
+            yield op
+            push_children(op)
 
     def walk_type(self, op_class) -> Iterator["Operation"]:
         for op in self.walk():
@@ -183,36 +209,37 @@ class Operation:
                 yield op
 
     def block_index(self) -> int:
+        """Position of this operation in its block.
+
+        Amortized O(1): the parent block keeps a lazily rebuilt index map
+        that structural mutations invalidate, so bursts of queries between
+        mutations pay one O(n) rebuild.
+        """
         if self.parent is None:
             raise IRError("operation has no parent block")
-        return self.parent.operations.index(self)
+        return self.parent._index_of(self)
 
     def is_before_in_block(self, other: "Operation") -> bool:
         if self.parent is not other.parent or self.parent is None:
             raise IRError("operations are not in the same block")
-        return self.block_index() < other.block_index()
+        return self._order < other._order
 
     def next_op(self) -> Optional["Operation"]:
-        if self.parent is None:
-            return None
-        idx = self.block_index()
-        ops = self.parent.operations
-        return ops[idx + 1] if idx + 1 < len(ops) else None
+        return self._next if self.parent is not None else None
 
     def prev_op(self) -> Optional["Operation"]:
-        if self.parent is None:
-            return None
-        idx = self.block_index()
-        return self.parent.operations[idx - 1] if idx > 0 else None
+        return self._prev if self.parent is not None else None
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def detach(self) -> "Operation":
-        """Remove this operation from its parent block without erasing it."""
+        """Remove this operation from its parent block without erasing it.
+
+        O(1): unlinks from the intrusive operation list.
+        """
         if self.parent is not None:
-            self.parent.operations.remove(self)
-            self.parent = None
+            self.parent._unlink(self)
         return self
 
     def erase(self) -> None:
@@ -230,6 +257,8 @@ class Operation:
         self.detach()
 
     def move_before(self, other: "Operation") -> None:
+        if other is self:
+            return
         self.detach()
         block = other.parent
         if block is None:
@@ -237,6 +266,8 @@ class Operation:
         block.insert_before(other, self)
 
     def move_after(self, other: "Operation") -> None:
+        if other is self:
+            return
         self.detach()
         block = other.parent
         if block is None:
@@ -301,14 +332,32 @@ class Operation:
         return f"<{self.__class__.__name__} {self.OPERATION_NAME}>"
 
 
+#: Gap left between the order keys of neighbouring operations.  Inserting
+#: between two operations bisects the gap; only when a gap is exhausted
+#: (~log2(stride) consecutive inserts at the same point) is the whole block
+#: renumbered, keeping order maintenance amortized O(1).
+_ORDER_STRIDE = 1 << 16
+
+
 class Block:
-    """A sequential list of operations ending (usually) in a terminator."""
+    """A sequential list of operations ending (usually) in a terminator.
+
+    Operations are stored as an intrusive doubly-linked list threaded
+    through ``Operation._prev``/``Operation._next``: ``append``,
+    ``insert_before``/``insert_after`` and ``Operation.detach``/``erase``/
+    ``move_before``/``move_after`` are all O(1).  ``block.operations``
+    remains available as a materialized list view for read-only traversal.
+    """
 
     def __init__(self, arg_types: Sequence[Type] = (),
                  arg_names: Optional[Sequence[str]] = None):
         self.arguments: List[BlockArgument] = []
-        self.operations: List[Operation] = []
         self.parent: Optional[Region] = None
+        self._first: Optional[Operation] = None
+        self._last: Optional[Operation] = None
+        self._num_ops: int = 0
+        #: Lazily rebuilt ``id(op) -> position`` map for ``block_index``.
+        self._index_cache: Optional[Dict[int, int]] = None
         for i, type_ in enumerate(arg_types):
             name = arg_names[i] if arg_names else None
             self.arguments.append(BlockArgument(self, i, type_, name))
@@ -328,60 +377,179 @@ class Block:
             remaining.arg_index = i
 
     # -- operations ----------------------------------------------------------
+    @property
+    def operations(self) -> List[Operation]:
+        """Materialized list view of the operations (a fresh O(n) snapshot).
+
+        Mutating the returned list does not affect the block; use
+        ``append``/``insert_before``/``insert_after`` and
+        ``Operation.detach``/``erase`` instead.
+        """
+        result: List[Operation] = []
+        op = self._first
+        while op is not None:
+            result.append(op)
+            op = op._next
+        return result
+
+    @property
+    def first_op(self) -> Optional[Operation]:
+        return self._first
+
+    @property
+    def last_op(self) -> Optional[Operation]:
+        return self._last
+
     def append(self, op: Operation) -> Operation:
         op.detach()
         op.parent = self
-        self.operations.append(op)
+        op._prev = self._last
+        op._next = None
+        op._order = (self._last._order + _ORDER_STRIDE
+                     if self._last is not None else 0)
+        if self._last is not None:
+            self._last._next = op
+        else:
+            self._first = op
+        self._last = op
+        self._num_ops += 1
+        self._index_cache = None
         return op
 
     def insert(self, index: int, op: Operation) -> Operation:
-        op.detach()
-        op.parent = self
-        self.operations.insert(index, op)
-        return op
+        """Insert ``op`` at ``index`` (O(index); prefer the anchored forms).
+
+        Follows ``list.insert`` semantics: out-of-range indices clamp to
+        the ends and negative indices count from the back.
+        """
+        if index < 0:
+            index = max(0, self._num_ops + index)
+        if index >= self._num_ops:
+            return self.append(op)
+        anchor = self._first
+        for _ in range(index):
+            anchor = anchor._next
+        return self.insert_before(anchor, op)
 
     def insert_before(self, anchor: Operation, op: Operation) -> Operation:
-        return self.insert(self.operations.index(anchor), op)
+        if anchor.parent is not self:
+            raise IRError("insertion anchor is not in this block")
+        if op is anchor:
+            return op  # inserting before itself is a no-op
+        op.detach()
+        op.parent = self
+        prev = anchor._prev
+        op._prev = prev
+        op._next = anchor
+        anchor._prev = op
+        if prev is not None:
+            prev._next = op
+        else:
+            self._first = op
+        self._num_ops += 1
+        self._index_cache = None
+        self._assign_order_between(op, prev, anchor)
+        return op
 
     def insert_after(self, anchor: Operation, op: Operation) -> Operation:
-        return self.insert(self.operations.index(anchor) + 1, op)
+        if anchor.parent is not self:
+            raise IRError("insertion anchor is not in this block")
+        if anchor._next is None:
+            return self.append(op)
+        return self.insert_before(anchor._next, op)
+
+    def _unlink(self, op: Operation) -> None:
+        """Remove ``op`` from the intrusive list (O(1))."""
+        prev, nxt = op._prev, op._next
+        if prev is not None:
+            prev._next = nxt
+        else:
+            self._first = nxt
+        if nxt is not None:
+            nxt._prev = prev
+        else:
+            self._last = prev
+        op._prev = None
+        op._next = None
+        op.parent = None
+        self._num_ops -= 1
+        self._index_cache = None
+
+    def _assign_order_between(self, op: Operation,
+                              prev: Optional[Operation],
+                              nxt: Operation) -> None:
+        lo = prev._order if prev is not None else nxt._order - 2 * _ORDER_STRIDE
+        hi = nxt._order
+        if hi - lo > 1:
+            op._order = (lo + hi) // 2
+            return
+        # Gap exhausted: renumber the whole block with fresh stride spacing.
+        current = self._first
+        order = 0
+        while current is not None:
+            current._order = order
+            order += _ORDER_STRIDE
+            current = current._next
+
+    def _index_of(self, op: Operation) -> int:
+        cache = self._index_cache
+        if cache is None:
+            cache = {}
+            current = self._first
+            position = 0
+            while current is not None:
+                cache[id(current)] = position
+                position += 1
+                current = current._next
+            self._index_cache = cache
+        try:
+            return cache[id(op)]
+        except KeyError:
+            raise IRError("operation is not in this block") from None
 
     def erase_all_ops(self) -> None:
         """Erase all operations, dropping uses (used when erasing regions)."""
-        for op in reversed(list(self.operations)):
+        for op in reversed(self.operations):
             for res in op.results:
-                res.uses = []
+                res.drop_all_uses()
             for region in op.regions:
                 for block in region.blocks:
                     block.erase_all_ops()
             op.drop_all_uses_of_operands()
             op.parent = None
-        self.operations = []
+            op._prev = None
+            op._next = None
+        self._first = None
+        self._last = None
+        self._num_ops = 0
+        self._index_cache = None
 
     @property
     def terminator(self) -> Optional[Operation]:
-        if self.operations and has_trait(self.operations[-1], Trait.TERMINATOR):
-            return self.operations[-1]
+        last = self._last
+        if last is not None and has_trait(last, Trait.TERMINATOR):
+            return last
         return None
 
     def ops_without_terminator(self) -> List[Operation]:
-        term = self.terminator
-        if term is None:
-            return list(self.operations)
-        return list(self.operations[:-1])
+        ops = self.operations
+        if self.terminator is not None:
+            ops.pop()
+        return ops
 
     # -- navigation -----------------------------------------------------------
     def parent_op(self) -> Optional[Operation]:
         return self.parent.parent if self.parent is not None else None
 
     def __iter__(self) -> Iterator[Operation]:
-        return iter(list(self.operations))
+        """Iterate over a snapshot, so erasing the current op is safe."""
+        return iter(self.operations)
 
     def __len__(self) -> int:
-        return len(self.operations)
+        return self._num_ops
 
     def __repr__(self) -> str:
-        return f"<Block with {len(self.operations)} ops>"
+        return f"<Block with {self._num_ops} ops>"
 
 
 class Region:

@@ -44,7 +44,21 @@ class Trait(enum.Enum):
     COMMUTATIVE = "commutative"
 
 
+# Each trait gets a bit so per-class trait sets collapse into an int mask;
+# trait queries are then a cached integer AND instead of a frozenset lookup
+# that would hash the enum member on every call (has_trait is one of the
+# hottest functions in the rewrite/DCE inner loops).
+for _index, _trait in enumerate(Trait):
+    _trait.bit = 1 << _index
+
+
 def has_trait(op_or_class, trait: Trait) -> bool:
     """Return True if the operation (or operation class) carries ``trait``."""
-    traits = getattr(op_or_class, "TRAITS", frozenset())
-    return trait in traits
+    cls = op_or_class if isinstance(op_or_class, type) else op_or_class.__class__
+    mask = cls.__dict__.get("_trait_mask_")
+    if mask is None:
+        mask = 0
+        for member in getattr(cls, "TRAITS", ()):
+            mask |= member.bit
+        cls._trait_mask_ = mask
+    return bool(mask & trait.bit)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from .types import Type
 
@@ -20,48 +20,61 @@ class Use:
 
 
 class Value:
-    """Base class of all SSA values."""
+    """Base class of all SSA values.
+
+    The use-def chain is an order-preserving dict keyed by
+    ``(id(owner), operand_index)``, so ``add_use``/``remove_use`` are O(1)
+    and ``users()`` is O(uses) even for values with many uses (dicts keep
+    insertion order, preserving use order for deterministic traversals).
+    """
 
     def __init__(self, type_: Type, name_hint: Optional[str] = None):
         self.type = type_
         self.name_hint = name_hint
-        self.uses: List[Use] = []
+        self._uses: Dict[Tuple[int, int], Use] = {}
 
     # -- use-def chain -----------------------------------------------------
+    @property
+    def uses(self) -> List[Use]:
+        """List view of the uses, in insertion order."""
+        return list(self._uses.values())
+
     def add_use(self, use: Use) -> None:
-        self.uses.append(use)
+        self._uses[(id(use.owner), use.index)] = use
 
     def remove_use(self, owner: "Operation", index: int) -> None:
-        for i, use in enumerate(self.uses):
-            if use.owner is owner and use.index == index:
-                del self.uses[i]
-                return
+        self._uses.pop((id(owner), index), None)
+
+    def drop_all_uses(self) -> None:
+        """Forget every use without rewriting the owners' operand lists."""
+        self._uses.clear()
 
     def has_uses(self) -> bool:
-        return bool(self.uses)
+        return bool(self._uses)
 
     def num_uses(self) -> int:
-        return len(self.uses)
+        return len(self._uses)
 
     def users(self) -> List["Operation"]:
         """Distinct operations using this value, in use order."""
-        seen = []
-        for use in self.uses:
-            if use.owner not in seen:
-                seen.append(use.owner)
-        return seen
+        seen: Dict[int, "Operation"] = {}
+        for use in self._uses.values():
+            key = id(use.owner)
+            if key not in seen:
+                seen[key] = use.owner
+        return list(seen.values())
 
     def replace_all_uses_with(self, other: "Value") -> None:
         """Replace every use of this value with ``other``."""
         if other is self:
             return
-        for use in list(self.uses):
+        for use in list(self._uses.values()):
             use.owner.set_operand(use.index, other)
 
     def replace_uses_in(self, other: "Value", ops) -> None:
         """Replace uses of this value with ``other`` only inside ``ops``."""
         op_set = set(id(op) for op in ops)
-        for use in list(self.uses):
+        for use in list(self._uses.values()):
             if id(use.owner) in op_set:
                 use.owner.set_operand(use.index, other)
 

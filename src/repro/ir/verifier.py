@@ -48,8 +48,9 @@ def _verify_op(op: Operation, errors: List[str]) -> None:
 
 
 def _verify_block(parent: Operation, block: Block, errors: List[str]) -> None:
-    for index, op in enumerate(block.operations):
-        if has_trait(op, Trait.TERMINATOR) and index != len(block.operations) - 1:
+    ops = block.operations
+    for index, op in enumerate(ops):
+        if has_trait(op, Trait.TERMINATOR) and index != len(ops) - 1:
             errors.append(
                 f"{op.name}: terminator must be the last operation in its block")
         for operand in op.operands:

@@ -50,6 +50,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the compile report (statistics, remarks) to stderr")
     parser.add_argument(
+        "--timing", action="store_true",
+        help="print a per-pass timing table to stderr "
+             "(mlir-opt's -mlir-timing analogue)")
+    parser.add_argument(
         "--allow-unregistered", action="store_true",
         help="accept operations not present in the operation registry")
     parser.add_argument(
@@ -63,6 +67,26 @@ def _read_input(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _format_timing_table(timings) -> str:
+    """Per-pass wall-time table in pass-execution order."""
+    total = sum(timings.values())
+    width = 70
+    lines = [
+        "===" + "-" * (width - 6) + "===",
+        "{:^{width}}".format("... Pass execution timing report ...",
+                             width=width),
+        "===" + "-" * (width - 6) + "===",
+        f"  Total Execution Time: {total:.4f} seconds",
+        "",
+        "  ----Wall Time----  ----Name----",
+    ]
+    for name, seconds in timings.items():
+        percent = (seconds / total * 100.0) if total > 0 else 0.0
+        lines.append(f"  {seconds:9.4f} ({percent:5.1f}%)  {name}")
+    lines.append(f"  {total:9.4f} (100.0%)  Total")
+    return "\n".join(lines)
 
 
 def _write_output(path: str, text: str) -> None:
@@ -118,6 +142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     _write_output(args.output, Printer().print_module(module) + "\n")
     if args.report and report is not None:
         print(report.summary(), file=sys.stderr)
+    if args.timing and report is not None:
+        print(_format_timing_table(report.timings), file=sys.stderr)
     return 0
 
 

@@ -2,22 +2,78 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..ir import Block, Operation, Trait, has_trait, is_side_effect_free
+from ..ir.attributes import ArrayAttr, DenseElementsAttr, DictAttr, FloatAttr
 from ..dialects.func import FuncOp
 from .pass_manager import CompileReport, FunctionPass
 
+#: Attributes whose dataclass equality is coarser than their printed form
+#: (floats: -0.0 == 0.0 under IEEE/Python equality) or that can contain
+#: such floats; these are interned by their printed string instead of by
+#: value equality so CSE never merges semantically distinct constants.
+_STR_KEYED_ATTRS = (FloatAttr, ArrayAttr, DenseElementsAttr, DictAttr)
 
-def _operation_key(op: Operation) -> Tuple:
+
+class _KeyCache:
+    """Interning cache for the structural-key components.
+
+    Types and attributes are immutable value objects, so two equal
+    instances can share one small integer id; keys built from those ids
+    hash faster than tuples of formatted strings.  ``hits`` feeds the
+    ``cse.key_cache_hits`` statistic so benchmarks can attribute wins.
+    A fresh cache is created per ``run_on_function``, which bounds
+    retention and keeps the statistic deterministic for a given module
+    (a process-global cache would pin every type/attribute ever seen and
+    pre-warm hits across unrelated compiles).
+    """
+
+    __slots__ = ("type_ids", "attr_ids", "hits")
+
+    def __init__(self):
+        self.type_ids: Dict[object, int] = {}
+        self.attr_ids: Dict[object, int] = {}
+        self.hits = 0
+
+    def _intern(self, table: Dict[object, int], key) -> object:
+        try:
+            interned = table.get(key)
+            if interned is not None:
+                self.hits += 1
+                return interned
+            table[key] = interned = len(table)
+            return interned
+        except TypeError:  # unhashable (exotic) value: fall back to str
+            return str(key)
+
+    def type_id(self, type_) -> object:
+        return self._intern(self.type_ids, type_)
+
+    def attr_id(self, attr) -> object:
+        if isinstance(attr, _STR_KEYED_ATTRS):
+            # The printed form distinguishes -0.0 from 0.0 (the old
+            # str()-based key's behaviour, which value equality loses).
+            return self._intern(self.attr_ids, (attr.__class__, str(attr)))
+        return self._intern(self.attr_ids, attr)
+
+
+def _operation_key(op: Operation, cache: _KeyCache) -> Tuple:
     """Structural identity of a side-effect free operation.
 
     Semantics-bearing state (e.g. affine.apply coefficients, GEP static
-    offsets) lives in ``op.attributes`` and is covered by ``attr_key``.
+    offsets) lives in ``op.attributes`` and is covered by the attribute
+    component.  Equal types/attributes compare equal as value objects, so
+    interned ids (see :class:`_KeyCache`) preserve key equality.
     """
-    attr_key = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
-    return (op.name, tuple(id(v) for v in op.operands), attr_key,
-            tuple(str(r.type) for r in op.results))
+    attrs = op.attributes
+    if attrs:
+        attr_key = tuple(sorted(
+            (name, cache.attr_id(attr)) for name, attr in attrs.items()))
+    else:
+        attr_key = ()
+    return (op.name, tuple(id(v) for v in op._operands), attr_key,
+            tuple(cache.type_id(r.type) for r in op.results))
 
 
 class CSEPass(FunctionPass):
@@ -31,26 +87,29 @@ class CSEPass(FunctionPass):
     NAME = "cse"
 
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        cache = _KeyCache()
         for region in function.regions:
             for block in region.blocks:
-                self._process_block(block, {}, report)
+                self._process_block(block, {}, report, cache)
+        if cache.hits:
+            report.add_statistic(self.NAME, "key_cache_hits", cache.hits)
 
     def _process_block(self, block: Block, available: Dict[Tuple, Operation],
-                       report: CompileReport) -> None:
+                       report: CompileReport, cache: _KeyCache) -> None:
         scope: Dict[Tuple, Operation] = dict(available)
-        for op in list(block.operations):
+        for op in block.operations:
             if op.parent is None:
                 continue
             if op.regions:
                 for region in op.regions:
                     for nested in region.blocks:
-                        self._process_block(nested, scope, report)
+                        self._process_block(nested, scope, report, cache)
                 continue
             if not op.results or not is_side_effect_free(op):
                 continue
             if has_trait(op, Trait.TERMINATOR):
                 continue
-            key = _operation_key(op)
+            key = _operation_key(op, cache)
             existing = scope.get(key)
             if existing is not None and existing is not op:
                 op.replace_all_uses_with(list(existing.results))

@@ -79,7 +79,7 @@ class LoopInvariantCodeMotion(FunctionPass):
         changed = True
         while changed:
             changed = False
-            for op in list(loop.loop_body().ops_without_terminator()):
+            for op in loop.loop_body().ops_without_terminator():
                 if op.parent is None or op.regions:
                     continue
                 if not self._operands_defined_outside(op, loop):

@@ -100,7 +100,7 @@ class LowerAccessorSubscripts(FunctionPass):
             pointers[id(accessor)] = pointer
 
         # Rewrite every load/store going through the subscript result.
-        for user in list(subscript.results[0].users()):
+        for user in subscript.results[0].users():
             if isinstance(user, (affine_dialect.AffineLoadOp,
                                  memref_dialect.LoadOp)):
                 replacement = memref_dialect.LoadOp.build(pointer, [linear])

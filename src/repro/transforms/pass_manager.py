@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..ir import Operation
 from ..dialects.builtin import ModuleOp
@@ -28,24 +28,36 @@ class PassStatistic:
 
 @dataclass
 class CompileReport:
-    """Aggregated record of what the optimization pipeline did."""
+    """Aggregated record of what the optimization pipeline did.
+
+    ``statistics`` stays a list (the public view used by ``summary()`` and
+    existing callers), but lookups go through a ``(pass_name, name)`` index
+    so ``add_statistic``/``get_statistic`` are O(1) — passes bump counters
+    once per rewrite, which made the old linear scans a hot path.
+    """
 
     statistics: List[PassStatistic] = field(default_factory=list)
     remarks: List[str] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._stat_index: Dict[Tuple[str, str], PassStatistic] = {
+            (stat.pass_name, stat.name): stat for stat in self.statistics
+        }
+
     def add_statistic(self, pass_name: str, name: str, value: int = 1) -> None:
-        for stat in self.statistics:
-            if stat.pass_name == pass_name and stat.name == name:
-                stat.value += value
-                return
-        self.statistics.append(PassStatistic(pass_name, name, value))
+        key = (pass_name, name)
+        stat = self._stat_index.get(key)
+        if stat is not None:
+            stat.value += value
+            return
+        stat = PassStatistic(pass_name, name, value)
+        self._stat_index[key] = stat
+        self.statistics.append(stat)
 
     def get_statistic(self, pass_name: str, name: str) -> int:
-        for stat in self.statistics:
-            if stat.pass_name == pass_name and stat.name == name:
-                return stat.value
-        return 0
+        stat = self._stat_index.get((pass_name, name))
+        return stat.value if stat is not None else 0
 
     def remark(self, message: str) -> None:
         self.remarks.append(message)

@@ -1,0 +1,53 @@
+"""Smoke tests for the benchmark harness (tiny sizes, CI-friendly)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.generate import (  # noqa: E402
+    GeneratorConfig,
+    count_ops,
+    generate_module,
+)
+from benchmarks.runner import bench_config, main as runner_main  # noqa: E402
+from repro.ir import Printer, parse_module, verify  # noqa: E402
+
+
+class TestGenerator:
+    def test_generated_module_is_valid_and_sized(self):
+        config = GeneratorConfig(num_ops=200, num_kernels=2, seed=3)
+        module = generate_module(config)
+        verify(module)
+        assert abs(count_ops(module) - 200) < 60
+
+    def test_generation_is_deterministic(self):
+        config = GeneratorConfig(num_ops=120, seed=7)
+        first = Printer().print_module(generate_module(config))
+        second = Printer().print_module(generate_module(config))
+        assert first == second
+
+    def test_generated_module_round_trips(self):
+        config = GeneratorConfig(num_ops=100, num_kernels=1)
+        text = Printer().print_module(generate_module(config))
+        assert Printer().print_module(parse_module(text)) == text
+
+
+class TestRunner:
+    def test_bench_config_record_shape(self):
+        record = bench_config(GeneratorConfig(num_ops=80, num_kernels=1),
+                              repeats=1, compare_legacy=True, check=True)
+        assert record["num_ops"] > 0
+        for phase in ("print", "parse", "canonicalize", "cse",
+                      "canonicalize+cse", "pipeline:adaptivecpp-aot"):
+            assert record["timings_s"][phase] >= 0.0
+        assert "canonicalize" in record["pass_timings_s"]
+        assert record["legacy_timings_s"]["canonicalize+cse"] >= 0.0
+
+    def test_smoke_run_emits_json(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert runner_main(["--smoke", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["records"][0]["num_ops"] > 0

@@ -1,0 +1,272 @@
+"""The worklist driver must reach the restart-sweep driver's fixed point.
+
+``benchmarks.legacy`` preserves the pre-worklist drivers; these tests run
+both over the same inputs (the paper-listing modules and synthetic
+benchmark modules) and require identical printed IR, plus check the
+driver's re-enqueue rules directly.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.generate import GeneratorConfig, generate_module  # noqa: E402
+from benchmarks.legacy import (  # noqa: E402
+    LegacyCanonicalizePass,
+    apply_patterns_restart_sweep,
+)
+from repro.dialects import arith, builtin  # noqa: E402
+from repro.ir import IntegerAttr, Printer, i64, parse_module, verify  # noqa: E402
+from repro.transforms.canonicalize import CanonicalizePass  # noqa: E402
+from repro.transforms.cse import CSEPass  # noqa: E402
+from repro.transforms.pass_manager import PassManager  # noqa: E402
+from repro.transforms.rewrite import (  # noqa: E402
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+
+from .helpers import (  # noqa: E402
+    build_listing1_function,
+    build_listing2_function,
+    build_listing3_function,
+    wrap_in_module,
+)
+
+LISTING_BUILDERS = {
+    "listing1": build_listing1_function,
+    "listing2": build_listing2_function,
+    "listing3": build_listing3_function,
+}
+
+
+def _print(module) -> str:
+    return Printer().print_module(module)
+
+
+class TestFixedPointEquivalence:
+    @pytest.mark.parametrize("name", sorted(LISTING_BUILDERS))
+    def test_canonicalize_cse_matches_legacy_on_listing(self, name):
+        worklist_module = wrap_in_module(LISTING_BUILDERS[name]()[0])
+        legacy_module = wrap_in_module(LISTING_BUILDERS[name]()[0])
+        PassManager([CanonicalizePass(), CSEPass()]).run(worklist_module)
+        PassManager([LegacyCanonicalizePass(), CSEPass()]).run(legacy_module)
+        assert _print(worklist_module) == _print(legacy_module)
+        verify(worklist_module)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_canonicalize_cse_matches_legacy_on_synthetic(self, seed):
+        config = GeneratorConfig(num_ops=150, nesting_depth=1,
+                                 dead_chain_depth=16, num_kernels=1,
+                                 seed=seed)
+        worklist_module = generate_module(config)
+        legacy_module = generate_module(config)
+        PassManager([CanonicalizePass(), CSEPass()]).run(worklist_module)
+        PassManager([LegacyCanonicalizePass(), CSEPass()]).run(legacy_module)
+        assert _print(worklist_module) == _print(legacy_module)
+        verify(worklist_module)
+
+    @pytest.mark.parametrize("name", sorted(LISTING_BUILDERS))
+    def test_roundtrip_still_exact_after_canonicalize(self, name):
+        module = wrap_in_module(LISTING_BUILDERS[name]()[0])
+        PassManager([CanonicalizePass(), CSEPass()]).run(module)
+        text = _print(module)
+        assert _print(parse_module(text)) == text
+
+
+class _RecordingPattern(RewritePattern):
+    """Counts how often each op (by its 'tag' attribute) is visited."""
+
+    ROOT_OP = "arith.addi"
+
+    def __init__(self):
+        self.visits = []
+
+    def match_and_rewrite(self, op, rewriter):
+        self.visits.append(op.get_int_attr("tag", -1))
+        return False
+
+
+class _FoldAddPattern(RewritePattern):
+    """Folds addi-of-constants through the rewriter (driver-visible)."""
+
+    ROOT_OP = "arith.addi"
+
+    def match_and_rewrite(self, op, rewriter):
+        lhs = arith.constant_value_of(op.operands[0])
+        rhs = arith.constant_value_of(op.operands[1])
+        if lhs is None or rhs is None:
+            return False
+        constant = rewriter.insert(
+            arith.ConstantOp.build(lhs + rhs, op.results[0].type))
+        rewriter.replace_op(op, [constant.result])
+        return True
+
+
+class TestReenqueueRules:
+    def test_replacement_cascades_to_users_in_one_call(self):
+        # c1 + c2 feeds another add with c3: folding the first makes the
+        # second foldable only after the driver re-enqueues the user.
+        module = builtin.ModuleOp.build()
+        c1 = module.append(arith.ConstantOp.build(1, i64()))
+        c2 = module.append(arith.ConstantOp.build(2, i64()))
+        c3 = module.append(arith.ConstantOp.build(4, i64()))
+        first = module.append(arith.AddIOp.build(c1.result, c2.result))
+        second = module.append(arith.AddIOp.build(first.result, c3.result))
+        changed = apply_patterns_greedily(module, [_FoldAddPattern()])
+        assert changed
+        values = [op.get_int_attr("value") for op in module.body
+                  if isinstance(op, arith.ConstantOp)]
+        assert 7 in values  # the chained fold happened in a single call
+        assert second.parent is None
+
+    def test_only_pattern_roots_are_visited(self):
+        module = builtin.ModuleOp.build()
+        c = module.append(arith.ConstantOp.build(1, i64()))
+        add = module.append(arith.AddIOp.build(c.result, c.result))
+        add.set_attr("tag", IntegerAttr(5, i64()))
+        module.append(arith.MulIOp.build(c.result, c.result))
+        recorder = _RecordingPattern()
+        apply_patterns_greedily(module, [recorder])
+        assert recorder.visits == [5]  # muli and constants never dispatched
+
+    def test_prune_dead_erases_chains_during_drain(self):
+        module = builtin.ModuleOp.build()
+        c = module.append(arith.ConstantOp.build(1, i64()))
+        current = c.result
+        links = []
+        for _ in range(10):
+            link = module.append(arith.AddIOp.build(current, c.result))
+            links.append(link)
+            current = link.result
+        from repro.transforms.canonicalize import _is_trivially_dead
+
+        changed = apply_patterns_greedily(
+            module, [], prune_dead=_is_trivially_dead)
+        assert changed
+        assert all(link.parent is None for link in links)
+        assert c.parent is None  # the seed constant dies with the chain
+
+    def test_update_operand_reenqueues_dropped_producer(self):
+        # Redirecting an operand away from %c1 must get %c1's producer
+        # revisited so prune_dead collects it in the same drain.
+        from repro.dialects import memref as memref_dialect
+        from repro.ir import memref as memref_type
+        from repro.transforms.canonicalize import _is_trivially_dead
+
+        module = builtin.ModuleOp.build()
+        c1 = module.append(arith.ConstantOp.build(1, i64()))
+        c2 = module.append(arith.ConstantOp.build(2, i64()))
+        add = module.append(arith.AddIOp.build(c1.result, c1.result))
+        mul = module.append(arith.MulIOp.build(add.results[0], c2.result))
+        # Anchor the chain so only c1 can die, and only via the
+        # update_operand notification.
+        cell = module.append(memref_dialect.AllocOp.build(
+            memref_type((), i64())))
+        module.append(memref_dialect.StoreOp.build(
+            mul.results[0], cell.results[0]))
+
+        class _Redirect(RewritePattern):
+            ROOT_OP = "arith.addi"
+
+            def match_and_rewrite(self, op, rewriter):
+                if op.operands[0] is c1.result:
+                    rewriter.update_operand(op, 0, c2.result)
+                    rewriter.update_operand(op, 1, c2.result)
+                    return True
+                return False
+
+        apply_patterns_greedily(module, [_Redirect()],
+                                prune_dead=_is_trivially_dead)
+        assert not c1.result.has_uses()
+        assert c1.parent is None  # dropped producer collected in the drain
+        assert add.operands[0] is c2.result
+
+    def test_erasing_region_op_reenqueues_outside_producers(self):
+        # %sum is used only inside a loop body; a pattern erasing the loop
+        # must get %sum's producer re-enqueued so prune_dead collects it
+        # in the same drain.
+        from repro.dialects import scf
+        from repro.ir import index
+        from repro.transforms.canonicalize import _is_trivially_dead
+
+        module = builtin.ModuleOp.build()
+        c0 = module.append(arith.ConstantOp.build(0, index()))
+        c8 = module.append(arith.ConstantOp.build(8, index()))
+        c1 = module.append(arith.ConstantOp.build(1, i64()))
+        summed = module.append(arith.AddIOp.build(c1.result, c1.result))
+        loop = module.append(scf.ForOp.build(
+            c0.result, c8.result,
+            module.append(arith.ConstantOp.build(1, index())).result))
+        loop.body.append(arith.MulIOp.build(summed.result, summed.result))
+        loop.body.append(scf.YieldOp.build())
+
+        class _EraseLoop(RewritePattern):
+            ROOT_OP = "scf.for"
+
+            def match_and_rewrite(self, op, rewriter):
+                rewriter.erase_op(op)
+                return True
+
+        apply_patterns_greedily(module, [_EraseLoop()],
+                                prune_dead=_is_trivially_dead)
+        assert loop.parent is None
+        assert summed.parent is None  # collected in the same drain
+        assert c1.parent is None
+
+    def test_insert_after_replacing_root_keeps_position(self):
+        # A pattern may replace its root and then insert more ops; the
+        # rewriter's insertion point must not dangle on the erased root.
+        module = builtin.ModuleOp.build()
+        c = module.append(arith.ConstantOp.build(3, i64()))
+        module.append(arith.AddIOp.build(c.result, c.result))
+
+        class _ReplaceThenInsert(RewritePattern):
+            ROOT_OP = "arith.addi"
+
+            def match_and_rewrite(self, op, rewriter):
+                rewriter.replace_op(op, [op.operands[0]])
+                rewriter.insert(arith.ConstantOp.build(99, i64()))
+                return True
+
+        changed = apply_patterns_greedily(module, [_ReplaceThenInsert()])
+        assert changed
+        values = [op.get_int_attr("value") for op in module.body]
+        assert values == [3, 99]  # inserted at the replaced op's position
+
+    def test_cse_keeps_negative_zero_distinct(self):
+        from repro.ir import f32
+        from repro.transforms.cse import CSEPass
+        from repro.dialects import func as func_dialect
+
+        f = func_dialect.FuncOp.build("z", [])
+        pos = f.body.append(arith.ConstantOp.build(0.0, f32()))
+        neg = f.body.append(arith.ConstantOp.build(-0.0, f32()))
+        dup = f.body.append(arith.ConstantOp.build(-0.0, f32()))
+        f.body.append(func_dialect.ReturnOp.build())
+        module = builtin.ModuleOp.build()
+        module.append(f)
+        PassManager([CSEPass()]).run(module)
+        # -0.0 must not merge into 0.0 (IEEE-754), but the -0.0 duplicate
+        # must still CSE.
+        assert pos.parent is not None
+        assert neg.parent is not None
+        assert dup.parent is None
+
+    def test_matches_restart_sweep_driver_fixed_point(self):
+        def build():
+            module = builtin.ModuleOp.build()
+            c1 = module.append(arith.ConstantOp.build(3, i64()))
+            c2 = module.append(arith.ConstantOp.build(4, i64()))
+            add = module.append(arith.AddIOp.build(c1.result, c2.result))
+            module.append(arith.AddIOp.build(add.results[0], c2.result))
+            return module
+
+        worklist_module = build()
+        legacy_module = build()
+        apply_patterns_greedily(worklist_module, [_FoldAddPattern()])
+        apply_patterns_restart_sweep(legacy_module, [_FoldAddPattern()])
+        assert _print(worklist_module) == _print(legacy_module)
