@@ -7,7 +7,8 @@ seed), then times, each on a freshly generated copy:
 * ``parse``   — :func:`repro.ir.parse_module` of the printed text;
 * ``canonicalize`` / ``cse`` / ``canonicalize+cse`` — the optimization
   passes through :class:`repro.transforms.PassManager`, so the per-pass
-  numbers come from ``CompileReport.timings``;
+  numbers come from ``CompileReport.timings`` (keyed by pipeline
+  position, ``"0: canonicalize"``, so duplicate passes stay distinct);
 * ``pipeline:adaptivecpp-aot`` — a full named pipeline end to end.
 
 With ``--compare-legacy`` the restart-sweep drivers preserved in

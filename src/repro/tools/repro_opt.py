@@ -1,10 +1,22 @@
 """``repro-opt`` — an ``mlir-opt`` analogue for the reproduction's IR.
 
-Reads textual IR (file or stdin), verifies it, runs either a
-comma-separated pass pipeline (``--passes canonicalize,cse``) or one of the
-paper's full compiler-model pipelines (``--pipeline sycl-mlir``), verifies
-the result, and prints the optimized IR.  The compile report (statistics
-and remarks collected by the passes) can be dumped with ``--report``.
+Reads textual IR (file or stdin), verifies it, runs either a pass pipeline
+spec (``--passes 'builtin.module(cse,func.func(canonicalize))'``, flat
+``--passes canonicalize,cse`` also accepted) or one of the paper's full
+compiler-model pipelines (``--pipeline sycl-mlir``), verifies the result,
+and prints the optimized IR.  The compile report (statistics and remarks
+collected by the passes) can be dumped with ``--report``.
+
+Pass-instrumentation backed debugging flags mirror mlir-opt:
+
+* ``--print-ir-before PASS`` / ``--print-ir-after PASS`` /
+  ``--print-ir-after-all`` dump the anchored IR around pass executions;
+* ``--verify-each`` verifies the IR after every pass (and dumps the broken
+  IR when verification fails);
+* ``--dump-pass-pipeline`` prints the canonical spec of the pipeline about
+  to run (the ``parse_pass_pipeline`` / ``dump_pass_pipeline`` round trip);
+* ``--timing`` prints a per-pass wall-time table keyed by pipeline
+  position, so duplicate passes stay distinguishable.
 
 This is the workflow MLIR passes are developed against: every transform
 gets textual before/after test cases runnable through this driver (see
@@ -19,11 +31,17 @@ from typing import List, Optional
 
 from ..dialects import all_dialects  # noqa: F401 - registers ops and types
 from ..ir import ParseError, Printer, VerificationError, parse_module, verify
+from ..transforms.pass_manager import (
+    IRPrintingInstrumentation,
+    VerifierInstrumentation,
+)
 from ..transforms.pipelines import (
     NAMED_PIPELINES,
-    available_passes,
+    describe_registered_passes,
     build_named_pipeline,
+    dump_pass_pipeline,
     parse_pass_pipeline,
+    resolve_pass_name,
 )
 
 
@@ -39,13 +57,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="output file, or '-' for stdout (default)")
     parser.add_argument(
         "--passes", default=None, metavar="SPEC",
-        help="comma-separated pass pipeline, e.g. 'canonicalize,cse,licm'")
+        help="pass pipeline spec, e.g. 'canonicalize,cse' or "
+             "'builtin.module(cse,func.func(canonicalize"
+             "{max-iterations=10},licm))'")
     parser.add_argument(
         "--pipeline", default=None, choices=sorted(NAMED_PIPELINES),
         help="run a full compiler-model pipeline instead of --passes")
     parser.add_argument(
         "--no-verify", action="store_true",
         help="skip IR verification before and after the pipeline")
+    parser.add_argument(
+        "--verify-each", action="store_true",
+        help="verify the IR after every pass "
+             "(VerifierInstrumentation)")
     parser.add_argument(
         "--report", action="store_true",
         help="print the compile report (statistics, remarks) to stderr")
@@ -54,11 +78,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print a per-pass timing table to stderr "
              "(mlir-opt's -mlir-timing analogue)")
     parser.add_argument(
+        "--print-ir-before", action="append", default=[], metavar="PASS",
+        help="print the anchored IR to stderr before each run of PASS "
+             "(repeatable)")
+    parser.add_argument(
+        "--print-ir-after", action="append", default=[], metavar="PASS",
+        help="print the anchored IR to stderr after each run of PASS "
+             "(repeatable)")
+    parser.add_argument(
+        "--print-ir-after-all", action="store_true",
+        help="print the anchored IR to stderr after every pass")
+    parser.add_argument(
+        "--dump-pass-pipeline", action="store_true",
+        help="print the canonical pipeline spec to stderr before running")
+    parser.add_argument(
         "--allow-unregistered", action="store_true",
         help="accept operations not present in the operation registry")
     parser.add_argument(
         "--list-passes", action="store_true",
-        help="list registered pass names and exit")
+        help="list registered passes with their option schemas and exit")
     return parser
 
 
@@ -70,7 +108,11 @@ def _read_input(path: str) -> str:
 
 
 def _format_timing_table(timings) -> str:
-    """Per-pass wall-time table in pass-execution order."""
+    """Per-pass wall-time table in pass-execution order.
+
+    Rows are keyed by pipeline position (``"3: canonicalize"``), so two
+    instances of the same pass report separately.
+    """
     total = sum(timings.values())
     width = 70
     lines = [
@@ -101,7 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
     if args.list_passes:
-        print("\n".join(available_passes()))
+        print(describe_registered_passes())
         return 0
     if args.passes and args.pipeline:
         print("repro-opt: --passes and --pipeline are mutually exclusive",
@@ -121,14 +163,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     try:
-        if not args.no_verify:
-            verify(module)
         if args.pipeline:
             manager = build_named_pipeline(args.pipeline)
         elif args.passes:
             manager = parse_pass_pipeline(args.passes)
         else:
             manager = None
+    except ValueError as exc:
+        print(f"repro-opt: {exc}", file=sys.stderr)
+        return 2
+
+    if manager is not None:
+        if args.verify_each:
+            manager.add_instrumentation(VerifierInstrumentation())
+        try:
+            # Selectors match the NAME pass executions carry, so resolve
+            # aliases (`licm` -> `sycl-licm`) and reject typos up front.
+            print_before = [resolve_pass_name(n)
+                            for n in args.print_ir_before]
+            print_after = True if args.print_ir_after_all else \
+                [resolve_pass_name(n) for n in args.print_ir_after]
+        except ValueError as exc:
+            print(f"repro-opt: {exc}", file=sys.stderr)
+            return 2
+        if print_before or print_after:
+            manager.add_instrumentation(IRPrintingInstrumentation(
+                print_before=print_before,
+                print_after=print_after))
+        if args.dump_pass_pipeline:
+            print(dump_pass_pipeline(manager), file=sys.stderr)
+
+    try:
+        if not args.no_verify:
+            verify(module)
         report = manager.run(module) if manager is not None else None
         if not args.no_verify:
             verify(module)

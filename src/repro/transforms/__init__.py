@@ -21,19 +21,33 @@ from .lower_sycl import LowerAccessorSubscripts
 from .pass_manager import (
     CompileReport,
     FunctionPass,
+    IRPrintingInstrumentation,
     ModulePass,
+    OpPassManager,
     Pass,
+    PassInstrumentation,
     PassManager,
+    PassOptions,
+    PassRegistration,
     PassStatistic,
+    TimingInstrumentation,
+    VerifierInstrumentation,
+    lookup_pass,
+    register_pass,
+    register_pass_alias,
 )
 from .pipelines import (
     OptimizationOptions,
+    PipelineParseError,
     adaptivecpp_aot_pipeline,
     adaptivecpp_jit_pipeline,
     available_passes,
     build_named_pipeline,
+    describe_registered_passes,
     dpcpp_pipeline,
+    dump_pass_pipeline,
     parse_pass_pipeline,
+    resolve_pass_name,
     sycl_mlir_pipeline,
 )
 from .rewrite import (
@@ -55,11 +69,15 @@ __all__ = [
     "LoopInvariantCodeMotion", "VersionedLICM",
     "LoopInternalization", "work_group_size_of",
     "LowerAccessorSubscripts",
-    "CompileReport", "FunctionPass", "ModulePass", "Pass", "PassManager",
-    "PassStatistic",
-    "OptimizationOptions", "adaptivecpp_aot_pipeline",
+    "CompileReport", "FunctionPass", "IRPrintingInstrumentation",
+    "ModulePass", "OpPassManager", "Pass", "PassInstrumentation",
+    "PassManager", "PassOptions", "PassRegistration", "PassStatistic",
+    "TimingInstrumentation", "VerifierInstrumentation", "lookup_pass",
+    "register_pass", "register_pass_alias",
+    "OptimizationOptions", "PipelineParseError", "adaptivecpp_aot_pipeline",
     "adaptivecpp_jit_pipeline", "available_passes", "build_named_pipeline",
-    "dpcpp_pipeline", "parse_pass_pipeline", "sycl_mlir_pipeline",
+    "describe_registered_passes", "dpcpp_pipeline", "dump_pass_pipeline",
+    "parse_pass_pipeline", "resolve_pass_name", "sycl_mlir_pipeline",
     "NonConvergenceWarning", "PatternRewriter", "RewritePattern",
     "apply_patterns_greedily",
     "RuntimeCheckedAliasAnalysis", "specialize_kernel",

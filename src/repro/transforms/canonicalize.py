@@ -9,6 +9,7 @@ costs O(N) instead of N full-module sweeps.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..ir import (
@@ -26,8 +27,18 @@ from ..ir import (
 )
 from ..dialects import arith
 from ..dialects.func import FuncOp
-from .pass_manager import CompileReport, FunctionPass
-from .rewrite import PatternRewriter, RewritePattern, apply_patterns_greedily
+from .pass_manager import (
+    CompileReport,
+    FunctionPass,
+    PassOptions,
+    register_pass,
+)
+from .rewrite import (
+    MAX_PATTERN_ITERATIONS,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
 
 
 def _materialize_constant(attr: Attribute, type_) -> Optional[Operation]:
@@ -284,10 +295,24 @@ def _effects_are_unobservable(op: Operation) -> bool:
         e.kind in (EffectKind.READ, EffectKind.ALLOCATE) for e in effects)
 
 
+@register_pass
 class CanonicalizePass(FunctionPass):
     """Fold constants, simplify identities and erase dead pure operations."""
 
     NAME = "canonicalize"
+
+    STATISTICS = (
+        ("ops_folded", "operations replaced by folded constants"),
+        ("identities_simplified", "algebraic identities rewritten away"),
+        ("dead_ops_erased", "trivially dead operations removed"),
+    )
+
+    @dataclass
+    class Options(PassOptions):
+        #: Convergence bound forwarded to the greedy rewrite driver.
+        max_iterations: int = MAX_PATTERN_ITERATIONS
+        #: Fold dead-code elimination into the rewrite drain.
+        prune_dead: bool = True
 
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
         patterns = [_CanonicalizePattern(report, self.NAME)]
@@ -305,16 +330,26 @@ class CanonicalizePass(FunctionPass):
                 return True
             return False
 
-        apply_patterns_greedily(function, patterns, prune_dead=prune)
+        apply_patterns_greedily(
+            function, patterns,
+            max_iterations=self.options.max_iterations,
+            prune_dead=prune if self.options.prune_dead else None)
+        if not self.options.prune_dead:
+            return
         erased = erased_in_driver[0] + _erase_allocation_groups(function)
         if erased:
             report.add_statistic(self.NAME, "dead_ops_erased", erased)
 
 
+@register_pass
 class DCEPass(FunctionPass):
     """Standalone dead-code elimination."""
 
     NAME = "dce"
+
+    STATISTICS = (
+        ("dead_ops_erased", "dead operations (and allocation groups) removed"),
+    )
 
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
         erased = erase_dead_ops(function)

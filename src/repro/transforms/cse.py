@@ -7,7 +7,7 @@ from typing import Dict, Tuple
 from ..ir import Block, Operation, Trait, has_trait, is_side_effect_free
 from ..ir.attributes import ArrayAttr, DenseElementsAttr, DictAttr, FloatAttr
 from ..dialects.func import FuncOp
-from .pass_manager import CompileReport, FunctionPass
+from .pass_manager import CompileReport, FunctionPass, register_pass
 
 #: Attributes whose dataclass equality is coarser than their printed form
 #: (floats: -0.0 == 0.0 under IEEE/Python equality) or that can contain
@@ -76,6 +76,7 @@ def _operation_key(op: Operation, cache: _KeyCache) -> Tuple:
             tuple(cache.type_id(r.type) for r in op.results))
 
 
+@register_pass
 class CSEPass(FunctionPass):
     """Eliminates duplicate pure operations within each block scope.
 
@@ -85,6 +86,11 @@ class CSEPass(FunctionPass):
     """
 
     NAME = "cse"
+
+    STATISTICS = (
+        ("ops_eliminated", "duplicate pure operations replaced and erased"),
+        ("key_cache_hits", "structural-key intern cache hits"),
+    )
 
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
         cache = _KeyCache()

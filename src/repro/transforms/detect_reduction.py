@@ -24,7 +24,8 @@ access in the loop may alias the reduced location.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir import (
@@ -39,7 +40,14 @@ from ..dialects import scf as scf_dialect
 from ..dialects.func import FuncOp
 from ..analysis.alias import AliasAnalysis
 from ..analysis.sycl_alias import SYCLAliasAnalysis
-from .pass_manager import CompileReport, FunctionPass
+from .licm import ALIAS_CHOICES, alias_spec_name, make_alias_analysis
+from .pass_manager import (
+    CompileReport,
+    FunctionPass,
+    PassOptions,
+    register_pass,
+    register_pass_alias,
+)
 
 
 @dataclass
@@ -89,16 +97,35 @@ def _depends_on(value: Value, source: Value, limit: int = 64) -> bool:
                for operand in defining.operands)
 
 
+@register_pass
 class DetectReduction(FunctionPass):
     """Turns array reductions into loop-carried scalar reductions."""
 
     NAME = "detect-reduction"
 
+    STATISTICS = (
+        ("reductions_detected", "array reductions converted to loop-carried "
+                                "scalar reductions"),
+    )
+
+    @dataclass
+    class Options(PassOptions):
+        #: Alias analysis proving the reduced location is unaliased.
+        alias: str = field(default="sycl",
+                           metadata={"choices": ALIAS_CHOICES})
+
     #: Loop kinds handled by the pass.
     _LOOP_TYPES = (affine_dialect.AffineForOp, scf_dialect.ForOp)
 
-    def __init__(self, alias_analysis: Optional[AliasAnalysis] = None):
-        self.alias_analysis = alias_analysis or SYCLAliasAnalysis()
+    def __init__(self, alias_analysis: Optional[AliasAnalysis] = None,
+                 options: Optional["DetectReduction.Options"] = None):
+        options = options if options is not None else self.Options()
+        if alias_analysis is not None:
+            options = dataclasses.replace(
+                options, alias=alias_spec_name(alias_analysis))
+        super().__init__(options=options)
+        self.alias_analysis = alias_analysis if alias_analysis is not None \
+            else make_alias_analysis(options.alias)
 
     # ------------------------------------------------------------------
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
@@ -256,3 +283,10 @@ class DetectReduction(FunctionPass):
         for old_result, new_result in zip(loop.results, new_loop.results):
             old_result.replace_all_uses_with(new_result)
         loop.erase()
+
+
+register_pass_alias(
+    "detect-reduction-generic", DetectReduction,
+    description="Detect Reduction with the dialect-independent alias "
+                "analysis (the DPC++/LLVM-IR baseline behaviour).",
+    alias="generic")

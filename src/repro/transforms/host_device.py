@@ -26,6 +26,7 @@ kernel:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,7 +47,7 @@ from ..dialects.sycl import (
     SYCLHostConstructorOp,
     SYCLHostScheduleKernelOp,
 )
-from .pass_manager import CompileReport, ModulePass
+from .pass_manager import CompileReport, ModulePass, PassOptions, register_pass
 
 
 @dataclass
@@ -102,10 +103,27 @@ def _range_constant(value: Optional[Value]) -> Optional[Tuple[int, ...]]:
     return _constant_operands(constructor)
 
 
+@register_pass
 class HostDeviceOptimizationPass(ModulePass):
     """Joint host/device constant propagation and accessor analysis."""
 
     NAME = "host-device-propagation"
+
+    STATISTICS = (
+        ("range_queries_folded", "device range queries folded to constants"),
+        ("accessor_members_folded", "accessor member queries folded"),
+        ("scalar_constants_propagated", "host scalar constants propagated"),
+        ("constant_buffers_propagated", "constant buffer contents propagated"),
+        ("noalias_accessors", "accessors proven disjoint on the host"),
+        ("dead_arguments", "kernel arguments marked dead"),
+    )
+
+    @dataclass
+    class Options(PassOptions):
+        propagate_nd_range: bool = True
+        propagate_accessor_members: bool = True
+        propagate_scalars: bool = True
+        mark_dead_arguments: bool = True
 
     #: Device-side query operations replaced by the propagated local range.
     _LOCAL_RANGE_QUERIES = ("sycl.nd_item.get_local_range",
@@ -115,14 +133,26 @@ class HostDeviceOptimizationPass(ModulePass):
     _GROUP_RANGE_QUERIES = ("sycl.nd_item.get_group_range",
                             "sycl.group.get_group_range")
 
-    def __init__(self, propagate_nd_range: bool = True,
-                 propagate_accessor_members: bool = True,
-                 propagate_scalars: bool = True,
-                 mark_dead_arguments: bool = True):
-        self.propagate_nd_range = propagate_nd_range
-        self.propagate_accessor_members = propagate_accessor_members
-        self.propagate_scalars = propagate_scalars
-        self.mark_dead_arguments = mark_dead_arguments
+    def __init__(self, propagate_nd_range: Optional[bool] = None,
+                 propagate_accessor_members: Optional[bool] = None,
+                 propagate_scalars: Optional[bool] = None,
+                 mark_dead_arguments: Optional[bool] = None,
+                 options: Optional["HostDeviceOptimizationPass.Options"] = None):
+        options = options if options is not None else self.Options()
+        overrides = {
+            "propagate_nd_range": propagate_nd_range,
+            "propagate_accessor_members": propagate_accessor_members,
+            "propagate_scalars": propagate_scalars,
+            "mark_dead_arguments": mark_dead_arguments,
+        }
+        set_overrides = {k: v for k, v in overrides.items() if v is not None}
+        if set_overrides:
+            options = dataclasses.replace(options, **set_overrides)
+        super().__init__(options=options)
+        self.propagate_nd_range = options.propagate_nd_range
+        self.propagate_accessor_members = options.propagate_accessor_members
+        self.propagate_scalars = options.propagate_scalars
+        self.mark_dead_arguments = options.mark_dead_arguments
 
     # ------------------------------------------------------------------
     def run_on_module(self, module: Operation, report: CompileReport) -> None:

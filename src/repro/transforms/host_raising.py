@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..ir import Operation, StringAttr, SymbolRefAttr
 from ..dialects.llvm import LLVMCallOp, LLVMFuncOp
 from ..dialects.sycl import SYCLHostConstructorOp, SYCLHostScheduleKernelOp
-from .pass_manager import CompileReport, ModulePass
+from .pass_manager import CompileReport, ModulePass, register_pass
 
 #: Name of the nested module holding device kernels in a combined module.
 DEVICE_MODULE_NAME = "kernels"
@@ -62,10 +62,17 @@ def extract_kernel_name(callee: str) -> Optional[str]:
     return match.group("kernel") if match else None
 
 
+@register_pass
 class HostRaisingPass(ModulePass):
     """Raises DPC++ runtime call patterns to SYCL host operations."""
 
     NAME = "host-raising"
+
+    STATISTICS = tuple(
+        [("kernels_raised", "parallel_for launches raised to sycl.launch")] +
+        [(f"{kind}_constructors_raised",
+          f"{kind} constructor calls raised to sycl.constructor")
+         for _, kind in RUNTIME_PATTERNS])
 
     def run_on_module(self, module: Operation, report: CompileReport) -> None:
         for function in list(module.walk()):

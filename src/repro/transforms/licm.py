@@ -20,6 +20,8 @@ description.
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..ir import (
@@ -37,9 +39,44 @@ from ..dialects import scf as scf_dialect
 from ..dialects.func import FuncOp
 from ..analysis.alias import AliasAnalysis
 from ..analysis.sycl_alias import SYCLAliasAnalysis
-from .pass_manager import CompileReport, FunctionPass
+from .pass_manager import (
+    CompileReport,
+    FunctionPass,
+    PassOptions,
+    register_pass,
+    register_pass_alias,
+)
 
 _LOOP_TYPES = (affine_dialect.AffineForOp, scf_dialect.ForOp)
+
+#: Textual names of the alias analyses a spec can select.
+ALIAS_CHOICES = ("sycl", "generic", "runtime-checked")
+
+
+def make_alias_analysis(name: str) -> AliasAnalysis:
+    """Instantiate the alias analysis selected by an ``alias=`` option."""
+    if name == "sycl":
+        return SYCLAliasAnalysis()
+    if name == "generic":
+        return AliasAnalysis()
+    if name == "runtime-checked":
+        from .specialization import RuntimeCheckedAliasAnalysis
+
+        return RuntimeCheckedAliasAnalysis()
+    raise ValueError(
+        f"unknown alias analysis {name!r}; expected one of "
+        f"{', '.join(ALIAS_CHOICES)}")
+
+
+def alias_spec_name(analysis: AliasAnalysis) -> str:
+    """Best-effort inverse of :func:`make_alias_analysis`, for dumping."""
+    from .specialization import RuntimeCheckedAliasAnalysis
+
+    if isinstance(analysis, RuntimeCheckedAliasAnalysis):
+        return "runtime-checked"
+    if isinstance(analysis, SYCLAliasAnalysis):
+        return "sycl"
+    return "generic"
 
 
 def _loop_trip_count(loop: Operation) -> Optional[int]:
@@ -50,15 +87,40 @@ def _loop_trip_count(loop: Operation) -> Optional[int]:
     return None
 
 
+@register_pass
 class LoopInvariantCodeMotion(FunctionPass):
     """Hoists loop-invariant operations, including memory accesses."""
 
     NAME = "sycl-licm"
 
+    STATISTICS = (
+        ("ops_hoisted", "loop-invariant operations moved out of loops"),
+    )
+
+    @dataclass
+    class Options(PassOptions):
+        #: Alias analysis consulted when hoisting memory accesses.
+        alias: str = field(default="sycl",
+                           metadata={"choices": ALIAS_CHOICES})
+        #: Hoist side-effecting ops when the analysis proves it safe.
+        allow_side_effecting_hoist: bool = True
+
     def __init__(self, alias_analysis: Optional[AliasAnalysis] = None,
-                 allow_side_effecting_hoist: bool = True):
-        self.alias_analysis = alias_analysis or SYCLAliasAnalysis()
-        self.allow_side_effecting_hoist = allow_side_effecting_hoist
+                 allow_side_effecting_hoist: Optional[bool] = None,
+                 options: Optional["LoopInvariantCodeMotion.Options"] = None):
+        options = options if options is not None else self.Options()
+        if allow_side_effecting_hoist is not None:
+            options = dataclasses.replace(
+                options,
+                allow_side_effecting_hoist=allow_side_effecting_hoist)
+        if alias_analysis is not None:
+            # Keep the dumped spec faithful to the injected analysis.
+            options = dataclasses.replace(
+                options, alias=alias_spec_name(alias_analysis))
+        super().__init__(options=options)
+        self.alias_analysis = alias_analysis if alias_analysis is not None \
+            else make_alias_analysis(options.alias)
+        self.allow_side_effecting_hoist = options.allow_side_effecting_hoist
 
     # ------------------------------------------------------------------
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
@@ -178,6 +240,7 @@ class LoopInvariantCodeMotion(FunctionPass):
         op.move_before(loop)
 
 
+@register_pass
 class VersionedLICM(LoopInvariantCodeMotion):
     """LICM variant that versions loops when bounds are not known constant.
 
@@ -213,3 +276,13 @@ class VersionedLICM(LoopInvariantCodeMotion):
         if_op.then_block.append(loop)
         if_op.then_block.append(scf_dialect.YieldOp.build())
         return loop
+
+
+register_pass_alias(
+    "licm", LoopInvariantCodeMotion,
+    description="Alias of sycl-licm (the paper's default LICM).")
+register_pass_alias(
+    "licm-generic", LoopInvariantCodeMotion,
+    description="LICM with the dialect-independent alias analysis "
+                "(the DPC++/LLVM-IR baseline behaviour).",
+    alias="generic")

@@ -47,7 +47,7 @@ from ..dialects.sycl import (
 )
 from ..analysis.memory_access import BasisKind, MemoryAccess, MemoryAccessAnalysis
 from ..analysis.uniformity import UniformityAnalysis
-from .pass_manager import CompileReport, FunctionPass
+from .pass_manager import CompileReport, FunctionPass, register_pass
 
 
 @dataclass
@@ -79,12 +79,21 @@ def work_group_size_of(function: FuncOp) -> Optional[Tuple[int, ...]]:
         return None
 
 
+@register_pass
 class LoopInternalization(FunctionPass):
     """Prefetches reused global-memory accesses into SYCL local memory."""
 
     NAME = "loop-internalization"
 
-    def __init__(self, uniformity: Optional[UniformityAnalysis] = None):
+    STATISTICS = (
+        ("loops_internalized", "loops tiled through SYCL local memory"),
+        ("references_prefetched", "global-memory references prefetched"),
+        ("divergent_loops_skipped", "loops skipped due to divergence"),
+    )
+
+    def __init__(self, uniformity: Optional[UniformityAnalysis] = None,
+                 options=None):
+        super().__init__(options=options)
         self._uniformity = uniformity
 
     # ------------------------------------------------------------------

@@ -38,13 +38,18 @@ from ..dialects.sycl import (
     accessor_type_of,
 )
 from .canonicalize import erase_dead_ops
-from .pass_manager import CompileReport, FunctionPass
+from .pass_manager import CompileReport, FunctionPass, register_pass
 
 
+@register_pass
 class LowerAccessorSubscripts(FunctionPass):
     """Expands accessor subscripts into raw pointer arithmetic."""
 
     NAME = "lower-sycl-accessors"
+
+    STATISTICS = (
+        ("subscripts_lowered", "accessor subscripts expanded to pointers"),
+    )
 
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
         #: Raw pointer per accessor value, so repeated subscripts share it.

@@ -1,21 +1,59 @@
-"""Pass infrastructure: passes, pipelines and compile reports.
+"""Pass infrastructure: passes, options, pass managers and instrumentation.
 
-Mirrors MLIR's pass manager at the granularity this project needs: passes
-run on a module or on every function, can be grouped into pipelines, and
-record what they did in a :class:`CompileReport` so the evaluation harness
-can attribute speedups to individual optimizations (paper, Section VIII).
+Mirrors MLIR's pass infrastructure at the granularity this project needs:
+
+* a :class:`Pass` declares a ``NAME``, an *anchor op* (``builtin.module``
+  vs ``func.func``), typed :class:`PassOptions` (a dataclass parsed from
+  ``canonicalize{max-iterations=10}`` specs) and the ``STATISTICS`` it may
+  report;
+* a :class:`PassManager` is a tree of :class:`OpPassManager`\\ s —
+  ``pm.nest("func.func").add(...)`` — where function-anchored pipelines run
+  once per isolated :class:`~repro.dialects.func.FuncOp` (the enabler for
+  per-function parallel scheduling);
+* :class:`PassInstrumentation` hooks observe every pass execution; timing,
+  IR printing and verification ship as the first three clients;
+* passes self-register with the :func:`register_pass` decorator, which
+  feeds :func:`repro.transforms.pipelines.parse_pass_pipeline` and
+  ``repro-opt --list-passes``;
+* every run records what happened in a :class:`CompileReport` so the
+  evaluation harness can attribute speedups to individual optimizations
+  (paper, Section VIII).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import re
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
 
 from ..ir import Operation
 from ..dialects.builtin import ModuleOp
 from ..dialects.func import FuncOp
 
+#: Operation names a pipeline may anchor on.  ``builtin.module`` pipelines
+#: may nest ``func.func`` pipelines, never the other way around (a function
+#: cannot contain a module).
+MODULE_ANCHOR = "builtin.module"
+FUNCTION_ANCHOR = "func.func"
+ANCHOR_OPS = (MODULE_ANCHOR, FUNCTION_ANCHOR)
+
+
+# ---------------------------------------------------------------------------
+# Compile report
+# ---------------------------------------------------------------------------
 
 @dataclass
 class PassStatistic:
@@ -26,6 +64,11 @@ class PassStatistic:
     value: int = 0
 
 
+#: Timing keys are ``"<pipeline position>: <pass name>"`` so two instances
+#: of the same pass in one pipeline never share a bucket.
+_TIMING_POSITION_RE = re.compile(r"^(\d+): (.*)$")
+
+
 @dataclass
 class CompileReport:
     """Aggregated record of what the optimization pipeline did.
@@ -34,6 +77,10 @@ class CompileReport:
     existing callers), but lookups go through a ``(pass_name, name)`` index
     so ``add_statistic``/``get_statistic`` are O(1) — passes bump counters
     once per rewrite, which made the old linear scans a hot path.
+
+    ``timings`` is keyed by pipeline position (``"3: canonicalize"``), so
+    two instances of the same pass stay distinguishable in ``repro-opt
+    --timing`` output.
     """
 
     statistics: List[PassStatistic] = field(default_factory=list)
@@ -66,7 +113,19 @@ class CompileReport:
         for stat in other.statistics:
             self.add_statistic(stat.pass_name, stat.name, stat.value)
         self.remarks.extend(other.remarks)
+        # Position-keyed timings from another report describe a *different*
+        # pipeline run; renumber them past this report's positions so two
+        # "0: canonicalize" buckets from unrelated pipelines stay distinct
+        # instead of silently summing.
+        shift = 0
+        for key in self.timings:
+            match = _TIMING_POSITION_RE.match(key)
+            if match:
+                shift = max(shift, int(match.group(1)) + 1)
         for key, value in other.timings.items():
+            match = _TIMING_POSITION_RE.match(key)
+            if match:
+                key = f"{int(match.group(1)) + shift}: {match.group(2)}"
             self.timings[key] = self.timings.get(key, 0.0) + value
 
     def summary(self) -> str:
@@ -78,21 +137,163 @@ class CompileReport:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Pass options
+# ---------------------------------------------------------------------------
+
+def _spec_key(field_name: str) -> str:
+    """Dataclass field name -> textual option key (``max_iterations`` ->
+    ``max-iterations``)."""
+    return field_name.replace("_", "-")
+
+
+def _format_option_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+@dataclass
+class PassOptions:
+    """Base class of every pass's typed option block.
+
+    Subclasses are plain dataclasses; each field becomes a textual option
+    whose spec key replaces underscores with dashes.  Supported field types
+    are ``bool``, ``int``, ``float`` and ``str``; a ``str`` field may
+    restrict its values with ``field(metadata={"choices": (...)})``.
+    """
+
+    @classmethod
+    def spec_fields(cls) -> Dict[str, "dataclasses.Field"]:
+        """Textual option key -> dataclass field, in declaration order."""
+        return {_spec_key(f.name): f for f in dataclasses.fields(cls)}
+
+    @classmethod
+    def coerce(cls, option_field: "dataclasses.Field", text: str) -> object:
+        """Parse ``text`` into the field's type; raises ``ValueError``."""
+        key = _spec_key(option_field.name)
+        if option_field.type in ("bool", bool):
+            lowered = text.lower()
+            if lowered in ("true", "1"):
+                return True
+            if lowered in ("false", "0"):
+                return False
+            raise ValueError(
+                f"option '{key}' expects a boolean "
+                f"(true/false/1/0), got {text!r}")
+        if option_field.type in ("int", int):
+            try:
+                return int(text)
+            except ValueError:
+                raise ValueError(
+                    f"option '{key}' expects an integer, got {text!r}")
+        if option_field.type in ("float", float):
+            try:
+                return float(text)
+            except ValueError:
+                raise ValueError(
+                    f"option '{key}' expects a number, got {text!r}")
+        choices = option_field.metadata.get("choices")
+        if choices and text not in choices:
+            raise ValueError(
+                f"option '{key}' expects one of {', '.join(choices)}; "
+                f"got {text!r}")
+        return text
+
+    @classmethod
+    def from_spec_dict(cls, options: Dict[str, str]) -> "PassOptions":
+        """Build from textual ``{spec-key: text-value}`` pairs."""
+        fields_by_key = cls.spec_fields()
+        values: Dict[str, object] = {}
+        for key, text in options.items():
+            option_field = fields_by_key.get(key)
+            if option_field is None:
+                known = ", ".join(fields_by_key) or "none"
+                raise ValueError(
+                    f"unknown option '{key}' (available options: {known})")
+            values[option_field.name] = cls.coerce(option_field, text)
+        return cls(**values)
+
+    def to_spec(self) -> str:
+        """Non-default options as ``{k=v,...}``; empty string if none."""
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{_spec_key(f.name)}="
+                             f"{_format_option_value(value)}")
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    @classmethod
+    def schema(cls) -> List[str]:
+        """Human-readable one-per-option lines for ``--list-passes``."""
+        lines = []
+        for key, f in cls.spec_fields().items():
+            type_name = f.type if isinstance(f.type, str) else f.type.__name__
+            line = f"{key} : {type_name} = {_format_option_value(f.default)}"
+            choices = f.metadata.get("choices")
+            if choices:
+                line += f" (one of: {', '.join(choices)})"
+            lines.append(line)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Pass base classes
+# ---------------------------------------------------------------------------
+
 class Pass:
     """Base class of all passes."""
 
-    #: Human-readable pass name (used in reports and statistics).
+    #: Human-readable pass name (used in reports, statistics and specs).
     NAME = "pass"
+
+    #: Operation the pass anchors on (see :data:`ANCHOR_OPS`).
+    ANCHOR = MODULE_ANCHOR
+
+    #: The pass's typed option block; override with a dataclass subclass.
+    Options: Type[PassOptions] = PassOptions
+
+    #: ``(statistic name, description)`` pairs the pass may report.
+    STATISTICS: Tuple[Tuple[str, str], ...] = ()
+
+    #: Filled by :meth:`PassManager.run` with the pass's position in the
+    #: flattened pipeline; keys the timing instrumentation.
+    pipeline_position: Optional[int] = None
+
+    def __init__(self, options: Optional[PassOptions] = None, **overrides):
+        if options is not None and overrides:
+            raise TypeError(
+                "pass either an Options instance or keyword overrides")
+        self.options = options if options is not None \
+            else self.Options(**overrides)
 
     def run(self, op: Operation, report: CompileReport) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def can_schedule_on(self, anchor: str) -> bool:
+        """Whether this pass may be added to a pipeline anchored on
+        ``anchor``."""
+        return anchor == self.ANCHOR
+
+    def to_spec(self) -> str:
+        """Textual form, e.g. ``canonicalize{max-iterations=10}``."""
+        options = getattr(self, "options", None)
+        return self.NAME + (options.to_spec() if options is not None else "")
+
     def __repr__(self) -> str:
-        return f"<Pass {self.NAME}>"
+        return f"<Pass {self.to_spec()}>"
 
 
 class FunctionPass(Pass):
-    """A pass applied to every function in a module (or a bare function)."""
+    """A pass anchored on ``func.func``.
+
+    When scheduled on a function pipeline it runs once per isolated
+    function; scheduled directly on a module pipeline (the legacy flat
+    form) it iterates every function itself.
+    """
+
+    ANCHOR = FUNCTION_ANCHOR
 
     def run(self, op: Operation, report: CompileReport) -> None:
         for function in self._functions(op):
@@ -101,6 +302,9 @@ class FunctionPass(Pass):
     def run_on_function(self, function: FuncOp,
                         report: CompileReport) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def can_schedule_on(self, anchor: str) -> bool:
+        return anchor in (FUNCTION_ANCHOR, MODULE_ANCHOR)
 
     @staticmethod
     def _functions(op: Operation) -> Iterable[FuncOp]:
@@ -112,6 +316,8 @@ class FunctionPass(Pass):
 class ModulePass(Pass):
     """A pass that needs to see the whole module at once."""
 
+    ANCHOR = MODULE_ANCHOR
+
     def run(self, op: Operation, report: CompileReport) -> None:
         self.run_on_module(op, report)
 
@@ -120,35 +326,391 @@ class ModulePass(Pass):
         raise NotImplementedError
 
 
-class PassManager:
-    """Runs a sequence of passes and collects a compile report."""
+# ---------------------------------------------------------------------------
+# Declarative pass registration
+# ---------------------------------------------------------------------------
 
-    def __init__(self, passes: Optional[List[Pass]] = None,
-                 verify_after_each: bool = False):
-        self.passes: List[Pass] = list(passes or [])
-        self.verify_after_each = verify_after_each
+@dataclass
+class PassRegistration:
+    """Registry entry produced by :func:`register_pass`."""
 
-    def add(self, pass_: Pass) -> "PassManager":
-        self.passes.append(pass_)
+    name: str
+    pass_class: Type[Pass]
+    options_class: Type[PassOptions]
+    description: str = ""
+    #: Set for aliases: the primary registered name this one re-exports.
+    alias_of: Optional[str] = None
+    #: Field-name keyed option presets an alias bakes in.
+    preset_options: Dict[str, object] = field(default_factory=dict)
+    #: Optional factory overriding ``pass_class(options=...)``.
+    factory: Optional[Callable[[PassOptions], Pass]] = None
+
+    def build(self, option_values: Optional[Dict[str, object]] = None) -> Pass:
+        """Instantiate the pass with ``option_values`` (field-name keyed)
+        on top of the alias presets."""
+        values = dict(self.preset_options)
+        values.update(option_values or {})
+        options = self.options_class(**values)
+        if self.factory is not None:
+            return self.factory(options)
+        return self.pass_class(options=options)
+
+
+#: All registered passes, keyed by spec name.  Populated at import time by
+#: the :func:`register_pass` decorators on each pass module.
+PASS_REGISTRATIONS: Dict[str, PassRegistration] = {}
+
+
+def _first_doc_line(cls: type) -> str:
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def register_pass(cls: Optional[Type[Pass]] = None, *,
+                  name: Optional[str] = None):
+    """Class decorator registering a pass under its ``NAME``.
+
+    ::
+
+        @register_pass
+        class CanonicalizePass(FunctionPass):
+            NAME = "canonicalize"
+    """
+
+    def wrap(pass_class: Type[Pass]) -> Type[Pass]:
+        spec_name = name or pass_class.NAME
+        if spec_name in PASS_REGISTRATIONS:
+            raise ValueError(f"pass {spec_name!r} is already registered")
+        PASS_REGISTRATIONS[spec_name] = PassRegistration(
+            name=spec_name,
+            pass_class=pass_class,
+            options_class=pass_class.Options,
+            description=_first_doc_line(pass_class))
+        return pass_class
+
+    return wrap(cls) if cls is not None else wrap
+
+
+def register_pass_alias(name: str, base: Type[Pass],
+                        description: str = "", **preset_options) -> None:
+    """Register ``name`` as an alias of ``base`` with option presets.
+
+    ::
+
+        register_pass_alias("licm-generic", LoopInvariantCodeMotion,
+                            alias="generic")
+    """
+    if name in PASS_REGISTRATIONS:
+        raise ValueError(f"pass {name!r} is already registered")
+    PASS_REGISTRATIONS[name] = PassRegistration(
+        name=name,
+        pass_class=base,
+        options_class=base.Options,
+        description=description or _first_doc_line(base),
+        alias_of=base.NAME,
+        preset_options=preset_options)
+
+
+def lookup_pass(name: str) -> Optional[PassRegistration]:
+    return PASS_REGISTRATIONS.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation
+# ---------------------------------------------------------------------------
+
+class PassInstrumentation:
+    """Observer hooks around pipeline and pass execution.
+
+    ``run_before_pass`` hooks fire in registration order, ``run_after_pass``
+    hooks in reverse registration order (so instrumentations nest like a
+    stack around each pass).  When an after-pass hook raises a
+    verification error, every instrumentation's ``run_after_failed_verify``
+    is notified before the error propagates.
+    """
+
+    def run_before_pipeline(self, op: Operation) -> None:
+        pass
+
+    def run_after_pipeline(self, op: Operation) -> None:
+        pass
+
+    def run_before_pass(self, pass_: Pass, op: Operation) -> None:
+        pass
+
+    def run_after_pass(self, pass_: Pass, op: Operation) -> None:
+        pass
+
+    def run_after_failed_verify(self, pass_: Pass, op: Operation,
+                                error: Exception) -> None:
+        pass
+
+
+def timing_key(pass_: Pass) -> str:
+    """Timing bucket for a scheduled pass: ``"<position>: <name>"``.
+
+    Keyed by pipeline position so two instances of the same pass in one
+    pipeline never share a bucket (``repro-opt --timing`` can tell them
+    apart); falls back to the bare name for passes run outside a manager.
+    """
+    position = getattr(pass_, "pipeline_position", None)
+    if position is None:
+        return pass_.NAME
+    return f"{position}: {pass_.NAME}"
+
+
+class TimingInstrumentation(PassInstrumentation):
+    """Accumulates wall time per scheduled pass into ``self.timings``.
+
+    A function-anchored pass runs once per function under one pipeline
+    position; its bucket aggregates across those runs.
+    """
+
+    def __init__(self):
+        self.timings: Dict[str, float] = {}
+        self._starts: List[float] = []
+
+    def run_before_pass(self, pass_: Pass, op: Operation) -> None:
+        self._starts.append(time.perf_counter())
+
+    def run_after_pass(self, pass_: Pass, op: Operation) -> None:
+        if not self._starts:
+            return
+        elapsed = time.perf_counter() - self._starts.pop()
+        key = timing_key(pass_)
+        self.timings[key] = self.timings.get(key, 0.0) + elapsed
+
+
+class IRPrintingInstrumentation(PassInstrumentation):
+    """Prints the anchored IR around selected passes (mlir-opt's
+    ``-print-ir-before/after`` analogue).
+
+    ``print_before`` / ``print_after`` are either ``True`` (every pass) or
+    a collection of pass names; IR is also dumped when verification fails
+    after a pass, so the broken IR is visible.
+    """
+
+    def __init__(self,
+                 print_before: Union[bool, Iterable[str]] = (),
+                 print_after: Union[bool, Iterable[str]] = (),
+                 stream=None):
+        self.print_before = self._selector(print_before)
+        self.print_after = self._selector(print_after)
+        self.stream = stream
+
+    @staticmethod
+    def _selector(value: Union[bool, Iterable[str]]):
+        if value is True:
+            return True
+        return frozenset(value or ())
+
+    def _matches(self, selector, pass_: Pass) -> bool:
+        return selector is True or pass_.NAME in selector
+
+    def _dump(self, label: str, pass_: Pass, op: Operation) -> None:
+        from ..ir import Printer
+
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(f"// -----// {label} {pass_.to_spec()} "
+                     f"({timing_key(pass_)}) //----- //\n")
+        stream.write(Printer().print_module(op) + "\n")
+
+    def run_before_pass(self, pass_: Pass, op: Operation) -> None:
+        if self._matches(self.print_before, pass_):
+            self._dump("IR Dump Before", pass_, op)
+
+    def run_after_pass(self, pass_: Pass, op: Operation) -> None:
+        if self._matches(self.print_after, pass_):
+            self._dump("IR Dump After", pass_, op)
+
+    def run_after_failed_verify(self, pass_: Pass, op: Operation,
+                                error: Exception) -> None:
+        self._dump("IR Dump After Failed Verify of", pass_, op)
+
+
+class VerifierInstrumentation(PassInstrumentation):
+    """Verifies the anchored IR after every pass (``--verify-each``)."""
+
+    def run_after_pass(self, pass_: Pass, op: Operation) -> None:
+        from ..ir import verify
+
+        verify(op)
+
+
+# ---------------------------------------------------------------------------
+# Pass managers
+# ---------------------------------------------------------------------------
+
+class OpPassManager:
+    """An ordered pipeline anchored on one operation kind.
+
+    Elements are passes or nested ``OpPassManager``\\ s; nesting a
+    ``func.func`` pipeline under a ``builtin.module`` one makes the nested
+    passes run once per function.
+    """
+
+    def __init__(self, anchor: str = MODULE_ANCHOR):
+        if anchor not in ANCHOR_OPS:
+            raise ValueError(
+                f"unknown pipeline anchor {anchor!r}; expected one of "
+                f"{', '.join(ANCHOR_OPS)}")
+        self.anchor = anchor
+        self.elements: List[Union[Pass, "OpPassManager"]] = []
+
+    def add(self, pass_: Pass) -> "OpPassManager":
+        if not pass_.can_schedule_on(self.anchor):
+            raise ValueError(
+                f"cannot schedule pass '{pass_.NAME}' (anchored on "
+                f"'{pass_.ANCHOR}') in a '{self.anchor}' pipeline")
+        self.elements.append(pass_)
         return self
 
-    def run(self, op: Operation,
-            report: Optional[CompileReport] = None) -> CompileReport:
-        report = report if report is not None else CompileReport()
-        for pass_ in self.passes:
-            start = time.perf_counter()
-            pass_.run(op, report)
-            elapsed = time.perf_counter() - start
-            report.timings[pass_.NAME] = report.timings.get(pass_.NAME, 0.0) + elapsed
-            if self.verify_after_each:
-                from ..ir import verify
+    def nest(self, anchor: str) -> "OpPassManager":
+        """Append and return a nested pipeline anchored on ``anchor``."""
+        if anchor not in ANCHOR_OPS:
+            raise ValueError(
+                f"unknown pipeline anchor {anchor!r}; expected one of "
+                f"{', '.join(ANCHOR_OPS)}")
+        if self.anchor == FUNCTION_ANCHOR and anchor == MODULE_ANCHOR:
+            raise ValueError(
+                "cannot nest a 'builtin.module' pipeline under 'func.func'")
+        nested = OpPassManager(anchor)
+        self.elements.append(nested)
+        return nested
 
-                verify(op)
-        return report
+    # -- views ---------------------------------------------------------------
+    def _walk_passes(self) -> Iterator[Pass]:
+        for element in self.elements:
+            if isinstance(element, OpPassManager):
+                yield from element._walk_passes()
+            else:
+                yield element
+
+    @property
+    def passes(self) -> List[Pass]:
+        """All passes in execution order, flattened across nesting."""
+        return list(self._walk_passes())
+
+    def to_spec(self) -> str:
+        """Canonical textual form, e.g. ``builtin.module(cse,...)``."""
+        parts = [element.to_spec() for element in self.elements]
+        return f"{self.anchor}({','.join(parts)})"
 
     def __len__(self) -> int:
         return len(self.passes)
 
     def __repr__(self) -> str:
-        names = ", ".join(p.NAME for p in self.passes)
-        return f"<PassManager [{names}]>"
+        return f"<OpPassManager {self.to_spec()}>"
+
+
+class PassManager(OpPassManager):
+    """The root pipeline: runs the pass tree and collects a report.
+
+    Accepts a flat pass list for backwards compatibility; nested pipelines
+    are built with :meth:`OpPassManager.nest`.  Instrumentations added with
+    :meth:`add_instrumentation` observe every pass execution; wall-clock
+    timing is always recorded into ``report.timings`` keyed by pipeline
+    position.
+    """
+
+    def __init__(self, passes: Optional[Iterable[Pass]] = None,
+                 verify_after_each: bool = False,
+                 anchor: str = MODULE_ANCHOR):
+        super().__init__(anchor)
+        for pass_ in passes or []:
+            self.add(pass_)
+        self.instrumentations: List[PassInstrumentation] = []
+        self.verify_after_each = verify_after_each
+        if verify_after_each:
+            self.add_instrumentation(VerifierInstrumentation())
+
+    def add_instrumentation(
+            self, instrumentation: PassInstrumentation) -> "PassManager":
+        self.instrumentations.append(instrumentation)
+        return self
+
+    # -- execution -----------------------------------------------------------
+    def run(self, op: Operation,
+            report: Optional[CompileReport] = None) -> CompileReport:
+        report = report if report is not None else CompileReport()
+        # The built-in timing instrumentation is per-run and innermost
+        # (last in before-order, first in after-order), so user hooks are
+        # not charged to the pass they wrap.
+        timing = TimingInstrumentation()
+        instrumentations = list(self.instrumentations) + [timing]
+        positions = self._slot_positions()
+        for instrumentation in instrumentations:
+            instrumentation.run_before_pipeline(op)
+        try:
+            self._run_pipeline(self, op, report, instrumentations, positions)
+        finally:
+            for key, value in timing.timings.items():
+                report.timings[key] = report.timings.get(key, 0.0) + value
+            for instrumentation in reversed(instrumentations):
+                instrumentation.run_after_pipeline(op)
+        return report
+
+    def _slot_positions(self) -> Dict[Tuple[int, int], int]:
+        """Pipeline position per ``(id(pipeline), element index)`` slot.
+
+        Keyed by slot rather than by pass object so one pass instance
+        scheduled in two slots still gets two distinct positions (and two
+        distinct timing buckets).
+        """
+        positions: Dict[Tuple[int, int], int] = {}
+        counter = [0]
+
+        def assign(pipeline: OpPassManager) -> None:
+            for index, element in enumerate(pipeline.elements):
+                if isinstance(element, OpPassManager):
+                    assign(element)
+                else:
+                    positions[(id(pipeline), index)] = counter[0]
+                    counter[0] += 1
+
+        assign(self)
+        return positions
+
+    def _run_pipeline(self, pipeline: OpPassManager, op: Operation,
+                      report: CompileReport,
+                      instrumentations: List[PassInstrumentation],
+                      positions: Dict[Tuple[int, int], int]) -> None:
+        for index, element in enumerate(pipeline.elements):
+            if isinstance(element, OpPassManager):
+                for anchored in self._anchored_ops(op, element.anchor):
+                    if anchored.parent is None and anchored is not op:
+                        continue  # erased by an earlier sibling run
+                    self._run_pipeline(element, anchored, report,
+                                       instrumentations, positions)
+            else:
+                # (Re-)label the pass with this slot's position right
+                # before the hooks fire; a shared instance is thus always
+                # reported under the slot it is currently running in.
+                element.pipeline_position = \
+                    positions[(id(pipeline), index)]
+                self._run_pass(element, op, report, instrumentations)
+
+    @staticmethod
+    def _anchored_ops(root: Operation, anchor: str) -> List[Operation]:
+        if root.name == anchor:
+            return [root]
+        return [op for op in root.walk(include_self=False)
+                if op.name == anchor]
+
+    def _run_pass(self, pass_: Pass, op: Operation, report: CompileReport,
+                  instrumentations: List[PassInstrumentation]) -> None:
+        from ..ir import VerificationError
+
+        for instrumentation in instrumentations:
+            instrumentation.run_before_pass(pass_, op)
+        pass_.run(op, report)
+        try:
+            for instrumentation in reversed(instrumentations):
+                instrumentation.run_after_pass(pass_, op)
+        except VerificationError as error:
+            for instrumentation in instrumentations:
+                instrumentation.run_after_failed_verify(pass_, op, error)
+            raise
+
+    def __repr__(self) -> str:
+        return f"<PassManager {self.to_spec()}>"
