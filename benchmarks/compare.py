@@ -1,0 +1,174 @@
+"""Benchmark regression gate: compare a fresh run against a committed
+``BENCH_*.json`` baseline.
+
+Tracked scenarios are flattened to ``name -> seconds``:
+
+* per-size phase timings: ``"<num_ops>ops/<phase>"`` (print, parse, the
+  pass combinations, the full pipeline);
+* the parallel scenario: ``"parallel/jobs=<N>"``;
+* the cache scenario: ``"cache/cold"`` and ``"cache/warm"``.
+
+A scenario regresses when ``candidate > baseline * (1 + threshold)``.
+Timings below ``--min-seconds`` in the *baseline* are skipped — at
+micro-benchmark scale the gate would only measure scheduler noise.  The
+exit status is the contract: 0 clean, 1 regression, 2 usage error — CI
+fails the build on 1.
+
+``--normalize`` corrects for *machine drift*: a committed baseline was
+recorded on one host, CI re-times on another, and hosted runners vary
+well beyond any useful threshold.  Each scenario's ratio is divided by
+the **median ratio across all gated scenarios** before thresholding, so
+a uniformly slower machine cancels out and only scenarios that regressed
+*relative to the rest of the suite* fail.  The trade-off is explicit: a
+change that slows every scenario by the same factor is invisible to the
+normalized gate (the suite spans print/parse/pass/cache scenarios, so a
+real regression is very rarely that uniform); the raw median drift is
+printed so it can be eyeballed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Optional
+
+#: Default tolerated slowdown before the gate fails (25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Baseline timings shorter than this are too noisy to gate on.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def flatten_scenarios(results: Dict) -> Dict[str, float]:
+    """``scenario name -> seconds`` for every tracked timing in a
+    ``BENCH_*.json`` payload."""
+    scenarios: Dict[str, float] = {}
+    for record in results.get("records", ()):
+        size = record.get("config", {}).get("num_ops", record.get("num_ops"))
+        for phase, seconds in record.get("timings_s", {}).items():
+            scenarios[f"{size}ops/{phase}"] = seconds
+    concurrency = results.get("concurrency", {})
+    parallel = concurrency.get("parallel", {})
+    for jobs, seconds in parallel.get("jobs_timings_s", {}).items():
+        scenarios[f"parallel/jobs={jobs}"] = seconds
+    cache = concurrency.get("cache", {})
+    for phase in ("cold", "warm"):
+        if f"{phase}_s" in cache:
+            scenarios[f"cache/{phase}"] = cache[f"{phase}_s"]
+    return scenarios
+
+
+def compare(baseline: Dict, candidate: Dict,
+            threshold: float = DEFAULT_THRESHOLD,
+            min_seconds: float = DEFAULT_MIN_SECONDS,
+            normalize: bool = False) -> List[Dict]:
+    """Rows for every scenario present in both payloads.
+
+    Each row carries ``name``, ``baseline_s``, ``candidate_s``, ``ratio``,
+    ``gated_ratio`` (drift-corrected when ``normalize``) and ``status``
+    (``ok`` / ``regression`` / ``skipped``).
+    """
+    baseline_scenarios = flatten_scenarios(baseline)
+    candidate_scenarios = flatten_scenarios(candidate)
+    rows: List[Dict] = []
+    for name, base_seconds in sorted(baseline_scenarios.items()):
+        cand_seconds = candidate_scenarios.get(name)
+        if cand_seconds is None:
+            continue
+        ratio = (cand_seconds / base_seconds) if base_seconds > 0 else 0.0
+        rows.append({
+            "name": name,
+            "baseline_s": base_seconds,
+            "candidate_s": cand_seconds,
+            "ratio": ratio,
+            "gated": base_seconds >= min_seconds,
+        })
+    gated_ratios = [row["ratio"] for row in rows if row["gated"]]
+    drift = (statistics.median(gated_ratios)
+             if normalize and gated_ratios else 1.0)
+    for row in rows:
+        row["drift"] = drift
+        row["gated_ratio"] = row["ratio"] / drift if drift > 0 else 0.0
+        if not row["gated"]:
+            row["status"] = "skipped"
+        elif row["gated_ratio"] > 1.0 + threshold:
+            row["status"] = "regression"
+        else:
+            row["status"] = "ok"
+        del row["gated"]
+    return rows
+
+
+def format_table(rows: List[Dict], normalized: bool = False) -> str:
+    width = max([len(row["name"]) for row in rows] + [8])
+    header = (f"{'scenario':<{width}}  {'baseline':>10}  {'candidate':>10}"
+              f"  {'ratio':>7}")
+    if normalized:
+        header += f"  {'adj':>7}"
+    lines = [header + "  status"]
+    for row in rows:
+        line = (f"{row['name']:<{width}}  {row['baseline_s']:>9.4f}s"
+                f"  {row['candidate_s']:>9.4f}s  {row['ratio']:>6.2f}x")
+        if normalized:
+            line += f"  {row['gated_ratio']:>6.2f}x"
+        lines.append(line + f"  {row['status']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.compare",
+        description="Fail on >threshold slowdown vs a BENCH_*.json "
+                    "baseline.")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly produced results JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated fractional slowdown "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--min-seconds", type=float,
+                        default=DEFAULT_MIN_SECONDS,
+                        help="skip scenarios whose baseline is shorter "
+                             "than this (default 0.005)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide each ratio by the median ratio across "
+                             "gated scenarios before thresholding, "
+                             "cancelling machine drift between the "
+                             "baseline host and this one")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.candidate, "r", encoding="utf-8") as handle:
+            candidate = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"benchmarks.compare: {exc}", file=sys.stderr)
+        return 2
+
+    rows = compare(baseline, candidate, threshold=args.threshold,
+                   min_seconds=args.min_seconds, normalize=args.normalize)
+    if not rows:
+        print("benchmarks.compare: no common scenarios between baseline "
+              "and candidate", file=sys.stderr)
+        return 2
+    print(format_table(rows, normalized=args.normalize))
+    if args.normalize:
+        print(f"\nmedian machine drift: {rows[0]['drift']:.2f}x "
+              "(ratios above are thresholded after dividing by this)")
+    regressions = [row for row in rows if row["status"] == "regression"]
+    if regressions:
+        names = ", ".join(row["name"] for row in regressions)
+        print(f"\nFAIL: {len(regressions)} scenario(s) regressed more than "
+              f"{args.threshold:.0%}: {names}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no scenario regressed more than {args.threshold:.0%} "
+          f"({sum(1 for row in rows if row['status'] == 'skipped')} "
+          "skipped as sub-threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,14 +31,21 @@ from typing import Callable, Dict, List, Optional
 from repro.dialects import all_dialects  # noqa: F401 - registers ops/types
 from repro.ir import Printer, parse_module, verify
 from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.compile_cache import CompileCache
 from repro.transforms.cse import CSEPass
 from repro.transforms.pass_manager import CompileReport, PassManager
-from repro.transforms.pipelines import build_named_pipeline
+from repro.transforms.pipelines import build_named_pipeline, parse_pass_pipeline
 
 from .generate import GeneratorConfig, count_ops, generate_module
 
 #: Default size ladder; ``--smoke`` keeps only the first entry.
 DEFAULT_SIZES = (500, 2000, 5000)
+
+#: Job counts exercised by the parallel-speedup scenario.
+DEFAULT_JOBS = (1, 2, 4)
+
+#: The per-function pipeline used by the concurrency scenarios.
+CONCURRENCY_PIPELINE = "builtin.module(func.func(canonicalize,cse,dce))"
 
 
 def _time(callable_: Callable[[], object], repeats: int,
@@ -124,10 +131,102 @@ def bench_config(config: GeneratorConfig, repeats: int = 3,
     return record
 
 
+def bench_parallel(config: GeneratorConfig,
+                   jobs_list=DEFAULT_JOBS, repeats: int = 3) -> Dict:
+    """Parallel-speedup scenario: the same per-function pipeline at
+    increasing ``jobs``, on a many-function module.
+
+    CPython's GIL serializes the pure-Python pass bodies, so thread-pool
+    speedups here measure scheduling overhead rather than multi-core
+    scaling; the scenario exists to keep ``--jobs`` overhead bounded (a
+    tracked regression scenario) and to light up on free-threaded builds.
+    """
+    module = generate_module(config)
+    num_functions = sum(1 for op in module.walk(include_self=False)
+                        if op.name == "func.func")
+    jobs_timings: Dict[str, float] = {}
+    for jobs in jobs_list:
+        manager = parse_pass_pipeline(CONCURRENCY_PIPELINE)
+        manager.jobs = jobs
+        try:
+            jobs_timings[str(jobs)] = _time(
+                lambda m, manager=manager: manager.run(m),
+                repeats, setup=lambda: generate_module(config))
+        finally:
+            manager.close()
+    serial_key = str(jobs_list[0])
+    serial = jobs_timings[serial_key]
+    speedups = {key: (serial / value if value > 0 else 0.0)
+                for key, value in jobs_timings.items() if key != serial_key}
+    return {
+        "config": config.describe(),
+        "pipeline": CONCURRENCY_PIPELINE,
+        "num_functions": num_functions,
+        "jobs_timings_s": jobs_timings,
+        "speedup_vs_serial": speedups,
+    }
+
+
+def bench_cache(config: GeneratorConfig, repeats: int = 3,
+                jobs: int = 1) -> Dict:
+    """Cache scenario: cold compile (miss + store) vs warm compile (hit).
+
+    Every repeat regenerates the input module, so the warm timing is a
+    true fingerprint-keyed lookup + splice on fresh, structurally
+    identical IR — the batch-driver situation ``repro-opt
+    --split-input-file`` hits.
+    """
+    def manager_with(cache: CompileCache) -> PassManager:
+        manager = parse_pass_pipeline(CONCURRENCY_PIPELINE)
+        manager.jobs = jobs
+        manager.cache = cache
+        return manager
+
+    def cold_setup():
+        # Fresh cache per repeat: always a miss.
+        return (manager_with(CompileCache()), generate_module(config))
+
+    cold = _time(lambda pair: pair[0].run(pair[1]), repeats,
+                 setup=cold_setup)
+
+    warm_cache = CompileCache()
+    primer = manager_with(warm_cache)
+    primer.run(generate_module(config))
+    warm_manager = manager_with(warm_cache)
+    warm = _time(lambda m: warm_manager.run(m), repeats,
+                 setup=lambda: generate_module(config))
+    warm_manager.close()
+    primer.close()
+    return {
+        "config": config.describe(),
+        "pipeline": CONCURRENCY_PIPELINE,
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": (cold / warm) if warm > 0 else 0.0,
+        "cache": warm_cache.describe(),
+    }
+
+
+def run_concurrency_suite(repeats: int = 3, jobs_list=DEFAULT_JOBS,
+                          num_functions: int = 64,
+                          num_ops: int = 4000, seed: int = 0) -> Dict:
+    """The BENCH_4 scenario family: parallel speedup + cache hits."""
+    config = GeneratorConfig(num_ops=num_ops, num_kernels=num_functions,
+                             nesting_depth=1, seed=seed)
+    return {
+        "parallel": bench_parallel(config, jobs_list=jobs_list,
+                                   repeats=repeats),
+        "cache": bench_cache(config, repeats=repeats),
+    }
+
+
 def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               compare_legacy: bool = False, check: bool = False,
               nesting_depth: int = 2, duplicate_density: float = 0.25,
-              num_kernels: int = 2, seed: int = 0) -> Dict:
+              num_kernels: int = 2, seed: int = 0,
+              concurrency: bool = False, jobs_list=DEFAULT_JOBS,
+              concurrency_functions: int = 64,
+              concurrency_ops: int = 4000) -> Dict:
     records: List[Dict] = []
     for size in sizes:
         config = GeneratorConfig(
@@ -137,12 +236,18 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
         records.append(bench_config(config, repeats=repeats,
                                     compare_legacy=compare_legacy,
                                     check=check))
-    return {
+    results = {
         "schema": "repro-bench/1",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "records": records,
     }
+    if concurrency:
+        results["concurrency"] = run_concurrency_suite(
+            repeats=repeats, jobs_list=jobs_list,
+            num_functions=concurrency_functions,
+            num_ops=concurrency_ops, seed=seed)
+    return results
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -161,6 +266,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--compare-legacy", action="store_true",
                         help="also time the pre-worklist restart-sweep "
                              "drivers (benchmarks.legacy)")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="also run the parallel-speedup and cache-hit "
+                             "scenario family (the BENCH_4 scenarios)")
+    parser.add_argument("--jobs-list", default=None, metavar="N,N,...",
+                        help="job counts for the parallel scenario "
+                             f"(default: {','.join(map(str, DEFAULT_JOBS))})")
+    parser.add_argument("--functions", type=int, default=64,
+                        help="function count for the concurrency scenarios "
+                             "(default 64)")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="embed FILE's results under 'baseline' "
                              "(a previous BENCH_*.json)")
@@ -170,14 +284,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         sizes: List[int] = [200]
         repeats = 1
         check = True
+        concurrency_functions = min(args.functions, 8)
+        concurrency_ops = 600
     else:
         sizes = ([int(s) for s in args.sizes.split(",")]
                  if args.sizes else list(DEFAULT_SIZES))
         repeats = args.repeats
         check = False
+        concurrency_functions = args.functions
+        concurrency_ops = 4000
+    jobs_list = ([int(j) for j in args.jobs_list.split(",")]
+                 if args.jobs_list else list(DEFAULT_JOBS))
 
     results = run_suite(sizes=sizes, repeats=repeats,
-                        compare_legacy=args.compare_legacy, check=check)
+                        compare_legacy=args.compare_legacy, check=check,
+                        concurrency=args.concurrency, jobs_list=jobs_list,
+                        concurrency_functions=concurrency_functions,
+                        concurrency_ops=concurrency_ops)
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             results["baseline"] = json.load(handle)
@@ -195,6 +318,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                          f"{record['legacy_timings_s']['canonicalize+cse']:.4f}s, "
                          f"{record['legacy_speedup']:.1f}x speedup)")
             summary.append(line)
+        if "concurrency" in results:
+            parallel = results["concurrency"]["parallel"]
+            jobs = ", ".join(
+                f"jobs={key}: {value:.4f}s"
+                for key, value in parallel["jobs_timings_s"].items())
+            summary.append(
+                f"parallel ({parallel['num_functions']} functions): {jobs}")
+            cached = results["concurrency"]["cache"]
+            summary.append(
+                f"cache: cold {cached['cold_s']:.4f}s, "
+                f"warm {cached['warm_s']:.4f}s "
+                f"({cached['speedup']:.1f}x on hit)")
         print("\n".join(summary), file=sys.stderr)
     else:
         sys.stdout.write(payload)

@@ -9,7 +9,7 @@ device kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from ..ir import CallOpInterface, Operation
 from ..dialects.builtin import ModuleOp

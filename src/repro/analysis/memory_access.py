@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..ir import BlockArgument, Operation, Trait, Value, has_trait
 from ..dialects import affine as affine_dialect
-from ..dialects import arith as arith_dialect
 from ..dialects import memref as memref_dialect
 from ..dialects.arith import constant_value_of
 from ..dialects.sycl import (

@@ -15,7 +15,7 @@ which is exactly what the unit tests for this module check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Set
 
 from ..ir import EffectKind, Operation, Value, get_memory_effects

@@ -31,7 +31,6 @@ from ..dialects.sycl import (
     NDItemType,
     NDRangeType,
     RangeType,
-    SYCLAccessorGetPointerOp,
     SYCLAccessorSubscriptOp,
     accessor_type_of,
 )

@@ -8,7 +8,7 @@ once constants are known.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..ir import (
     Attribute,
@@ -26,7 +26,6 @@ from ..ir import (
     Value,
     i1,
     is_float,
-    is_integer,
     register_op,
 )
 

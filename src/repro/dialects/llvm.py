@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..ir import (
-    ArrayAttr,
     Block,
     CallOpInterface,
     Dialect,
@@ -21,7 +20,6 @@ from ..ir import (
     FloatType,
     FunctionType,
     IntegerAttr,
-    IntegerType,
     MemoryEffect,
     MemoryEffectsInterface,
     Operation,

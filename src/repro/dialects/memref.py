@@ -8,14 +8,12 @@ from ..ir import (
     DenseElementsAttr,
     Dialect,
     IndexType,
-    IntegerAttr,
     MemoryEffect,
     MemoryEffectsInterface,
     MemRefType,
     Operation,
     StringAttr,
     Trait,
-    Type,
     Value,
     register_op,
 )

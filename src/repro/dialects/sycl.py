@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..ir import (
-    ArrayAttr,
     Dialect,
     DYNAMIC,
     IndexType,

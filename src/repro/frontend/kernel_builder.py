@@ -25,11 +25,10 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..ir import (
     Builder,
-    FloatType,
     InsertionPoint,
     IntegerType,
     MemRefType,

@@ -27,8 +27,16 @@ from .attributes import (
     symbol_ref,
 )
 from .builder import Builder, InsertionPoint
+from .concurrency import (
+    ConcurrentWriteError,
+    WriteGuard,
+    allow_unregistered_threading,
+    guarded_region,
+    unregistered_threading_allowed,
+)
 from .context import Context, Dialect, default_context
 from .dominance import DominanceInfo, properly_dominates
+from .fingerprint import fingerprint, function_fingerprint, module_fingerprint
 from .interfaces import (
     BranchOpInterface,
     CallOpInterface,
@@ -92,8 +100,11 @@ __all__ = [
     "UnitAttr", "array_attr", "bool_attr", "float_attr", "int_array_attr",
     "int_array_values", "int_attr", "str_attr", "symbol_ref",
     "Builder", "InsertionPoint",
+    "ConcurrentWriteError", "WriteGuard", "allow_unregistered_threading",
+    "guarded_region", "unregistered_threading_allowed",
     "Context", "Dialect", "default_context",
     "DominanceInfo", "properly_dominates",
+    "fingerprint", "function_fingerprint", "module_fingerprint",
     "BranchOpInterface", "CallOpInterface", "EffectKind", "LoopLikeInterface",
     "MemoryEffect", "MemoryEffectsInterface", "get_memory_effects",
     "is_side_effect_free",

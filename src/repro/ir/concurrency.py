@@ -1,0 +1,157 @@
+"""Single-writer enforcement for concurrent IR access.
+
+MLIR's threading model — which the pass manager's ``jobs=N`` scheduler
+adopts — allows pipelines anchored on *isolated-from-above* operations
+(``func.func``) to run concurrently because no worker can reach another
+worker's IR through SSA use-def chains.  Nothing in the data structures
+themselves enforces that, though: ``Value`` use lists and ``Block`` order
+indexes are plain Python state, and a buggy pass that mutates a sibling
+function would corrupt them silently.
+
+This module provides the guard that turns such bugs into errors:
+
+* a :class:`WriteGuard` maps *claimed* subtree roots (the per-worker
+  function ops) to their owning thread;
+* while a guard is installed (only during parallel pass execution),
+  every structural ``Block`` mutation and operand rewrite checks that the
+  current thread owns the nearest claimed ancestor — mutating another
+  worker's function, or shared IR outside every claimed subtree, raises
+  :class:`ConcurrentWriteError`;
+* :func:`allow_unregistered_threading` (also reachable as
+  ``Context.allow_unregistered_threading``) disables the guard for
+  callers that manage their own synchronization.
+
+When no guard is installed — every single-threaded compile — the cost is
+one module-global ``None`` check per mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .operations import Block, Operation
+
+
+class ConcurrentWriteError(RuntimeError):
+    """An IR mutation violated the parallel scheduler's ownership rules."""
+
+
+#: The guard consulted by ``Block``/``Operation`` mutators; ``None`` means
+#: unguarded (the single-threaded fast path).
+_ACTIVE_GUARD: Optional["WriteGuard"] = None
+
+#: When True, parallel pass execution skips installing a guard entirely
+#: (the ``Context.allow_unregistered_threading`` escape hatch).
+_UNREGISTERED_THREADING_ALLOWED = False
+
+
+def allow_unregistered_threading(allowed: bool = True) -> None:
+    """Permit IR mutation from threads the scheduler does not know about.
+
+    With this set, ``PassManager(jobs=N)`` runs without a write guard and
+    the caller takes responsibility for synchronization — the behaviour
+    before the guard existed.
+    """
+    global _UNREGISTERED_THREADING_ALLOWED
+    _UNREGISTERED_THREADING_ALLOWED = allowed
+
+
+def unregistered_threading_allowed() -> bool:
+    return _UNREGISTERED_THREADING_ALLOWED
+
+
+class WriteGuard:
+    """Tracks which thread owns which claimed IR subtree.
+
+    The claim table is only mutated from :meth:`claim`/:meth:`release`
+    under a lock; :meth:`check` is read-only on the table, so the hot
+    mutation path takes no lock.
+    """
+
+    def __init__(self) -> None:
+        self._owners: Dict[int, int] = {}
+        self._protected: set = set()
+        self._lock = threading.Lock()
+
+    def claim(self, root: "Operation") -> None:
+        """Mark ``root`` (and everything nested in it) as owned by the
+        calling thread."""
+        with self._lock:
+            self._owners[id(root)] = threading.get_ident()
+
+    def release(self, root: "Operation") -> None:
+        with self._lock:
+            self._owners.pop(id(root), None)
+
+    def protect(self, root: "Operation") -> None:
+        """Mark ``root``'s subtree read-only outside claimed subtrees.
+
+        The scheduler protects the *attached* run root (the module):
+        mutating shared IR under it raises, while mutation of *detached*
+        subtrees — IR a worker is building or cloning, reachable by no
+        other thread — stays legal.
+        """
+        with self._lock:
+            self._protected.add(id(root))
+
+    # -- hot path ------------------------------------------------------------
+    def check_block(self, block: "Block") -> None:
+        """Raise unless the calling thread may mutate ``block``."""
+        op = block.parent.parent if block.parent is not None else None
+        owners = self._owners
+        protected = self._protected
+        while op is not None:
+            owner = owners.get(id(op))
+            if owner is not None:
+                if owner != threading.get_ident():
+                    raise ConcurrentWriteError(
+                        f"thread {threading.get_ident()} mutated IR inside "
+                        f"'{op.name}' owned by thread {owner}; "
+                        "function pipelines must only mutate their own "
+                        "anchored function (see docs/concurrency.md)")
+                return
+            if id(op) in protected:
+                raise ConcurrentWriteError(
+                    "IR outside every worker-owned subtree was mutated "
+                    "during parallel pass execution; module-level IR is "
+                    "read-only while func.func pipelines run under --jobs "
+                    "(see docs/concurrency.md)")
+            parent_block = op.parent
+            op = (parent_block.parent.parent
+                  if parent_block is not None and parent_block.parent
+                  is not None else None)
+        # The walk ended at a detached root: the subtree is reachable only
+        # by the thread holding it (a clone or builder fragment) — legal.
+
+    def check_op(self, op: "Operation") -> None:
+        if op.parent is not None:
+            self.check_block(op.parent)
+
+
+def active_guard() -> Optional[WriteGuard]:
+    return _ACTIVE_GUARD
+
+
+@contextmanager
+def guarded_region(guard: Optional[WriteGuard]) -> Iterator[None]:
+    """Install ``guard`` as the active write guard for the duration.
+
+    Passing ``None`` is a no-op, which keeps call sites branch-free.
+    Nested guarded regions are rejected: the scheduler only parallelizes
+    the outermost function dispatch.
+    """
+    global _ACTIVE_GUARD
+    if guard is None:
+        yield
+        return
+    if _ACTIVE_GUARD is not None:
+        raise ConcurrentWriteError(
+            "nested parallel pass execution is not supported")
+    _ACTIVE_GUARD = guard
+    try:
+        yield
+    finally:
+        _ACTIVE_GUARD = None

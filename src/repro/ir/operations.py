@@ -8,9 +8,10 @@ hold host and device code side by side (paper, Section III).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type as PyType
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type as PyType
 
-from .attributes import Attribute, IntegerAttr, FloatAttr, BoolAttr, StringAttr
+from . import concurrency
+from .attributes import Attribute, IntegerAttr, BoolAttr, StringAttr
 from .traits import Trait, has_trait
 from .types import Type
 from .values import BlockArgument, OpResult, Use, Value
@@ -83,6 +84,8 @@ class Operation:
         value.add_use(Use(self, index))
 
     def set_operand(self, index: int, value: Value) -> None:
+        if concurrency._ACTIVE_GUARD is not None:
+            concurrency._ACTIVE_GUARD.check_op(self)
         old = self._operands[index]
         old.remove_use(self, index)
         self._operands[index] = value
@@ -303,6 +306,7 @@ class Operation:
             if key not in core and key not in clone.__dict__:
                 clone.__dict__[key] = value
         for old_res, new_res in zip(self.results, clone.results):
+            new_res.name_hint = old_res.name_hint
             mapping[old_res] = new_res
         for region in self.regions:
             clone.regions.append(region.clone_into(clone, mapping))
@@ -401,6 +405,8 @@ class Block:
         return self._last
 
     def append(self, op: Operation) -> Operation:
+        if concurrency._ACTIVE_GUARD is not None:
+            concurrency._ACTIVE_GUARD.check_block(self)
         op.detach()
         op.parent = self
         op._prev = self._last
@@ -432,6 +438,8 @@ class Block:
         return self.insert_before(anchor, op)
 
     def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        if concurrency._ACTIVE_GUARD is not None:
+            concurrency._ACTIVE_GUARD.check_block(self)
         if anchor.parent is not self:
             raise IRError("insertion anchor is not in this block")
         if op is anchor:
@@ -460,6 +468,8 @@ class Block:
 
     def _unlink(self, op: Operation) -> None:
         """Remove ``op`` from the intrusive list (O(1))."""
+        if concurrency._ACTIVE_GUARD is not None:
+            concurrency._ACTIVE_GUARD.check_block(self)
         prev, nxt = op._prev, op._next
         if prev is not None:
             prev._next = nxt

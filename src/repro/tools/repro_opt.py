@@ -18,6 +18,14 @@ Pass-instrumentation backed debugging flags mirror mlir-opt:
 * ``--timing`` prints a per-pass wall-time table keyed by pipeline
   position, so duplicate passes stay distinguishable.
 
+Batch mode: several input paths and/or ``--split-input-file`` (segments
+separated by ``// -----`` lines, the mlir-opt convention) compile every
+module through *one* pass manager — one fingerprint-keyed
+:class:`~repro.transforms.compile_cache.CompileCache` (disable with
+``--no-cache``) and, with ``--jobs N``, one shared worker pool that runs
+``func.func``-anchored pipelines once per function concurrently.
+Optimized modules are printed in input order, joined by ``// -----``.
+
 This is the workflow MLIR passes are developed against: every transform
 gets textual before/after test cases runnable through this driver (see
 ``docs/textual_ir.md`` and the FileCheck-lite helper in ``tests/``).
@@ -31,7 +39,9 @@ from typing import List, Optional
 
 from ..dialects import all_dialects  # noqa: F401 - registers ops and types
 from ..ir import ParseError, Printer, VerificationError, parse_module, verify
+from ..transforms.compile_cache import CompileCache
 from ..transforms.pass_manager import (
+    CompileReport,
     IRPrintingInstrumentation,
     VerifierInstrumentation,
 )
@@ -50,11 +60,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="repro-opt",
         description="Parse, optimize and re-print textual IR.")
     parser.add_argument(
-        "input", nargs="?", default="-",
-        help="input IR file, or '-' for stdin (default)")
+        "inputs", nargs="*", default=["-"], metavar="input",
+        help="input IR files, or '-' for stdin (default); several files "
+             "form a batch compiled through one shared cache and pool")
     parser.add_argument(
         "-o", "--output", default="-",
         help="output file, or '-' for stdout (default)")
+    parser.add_argument(
+        "--split-input-file", action="store_true",
+        help="split each input on '// -----' lines and compile every "
+             "segment as its own module (batch mode)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run func.func-anchored pipelines once per function across "
+             "N worker threads (default 1 = serial)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the fingerprint-keyed compile cache shared across "
+             "batch segments")
     parser.add_argument(
         "--passes", default=None, metavar="SPEC",
         help="pass pipeline spec, e.g. 'canonicalize,cse' or "
@@ -139,6 +162,40 @@ def _write_output(path: str, text: str) -> None:
             handle.write(text)
 
 
+#: Segment separator for ``--split-input-file`` (the mlir-opt convention).
+SPLIT_MARKER = "// -----"
+
+
+def _split_segments(text: str) -> List[str]:
+    """Split ``text`` on ``// -----`` separator lines."""
+    segments: List[str] = []
+    current: List[str] = []
+    for line in text.splitlines(keepends=True):
+        if line.strip() == SPLIT_MARKER:
+            segments.append("".join(current))
+            current = []
+        else:
+            current.append(line)
+    segments.append("".join(current))
+    return [segment for segment in segments if segment.strip()]
+
+
+def _collect_segments(args) -> List[tuple]:
+    """``(origin label, IR text)`` per module to compile, in input order."""
+    segments: List[tuple] = []
+    for path in args.inputs:
+        text = _read_input(path)
+        label = "<stdin>" if path == "-" else path
+        if args.split_input_file:
+            parts = _split_segments(text)
+            for index, part in enumerate(parts):
+                suffix = f" (segment {index + 1})" if len(parts) > 1 else ""
+                segments.append((label + suffix, part))
+        else:
+            segments.append((label, text))
+    return segments
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
@@ -150,29 +207,38 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    try:
-        text = _read_input(args.input)
-    except OSError as exc:
-        print(f"repro-opt: cannot read {args.input!r}: {exc}", file=sys.stderr)
-        return 1
+    if args.jobs < 1:
+        print("repro-opt: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     try:
-        module = parse_module(text, allow_unregistered=args.allow_unregistered)
-    except ParseError as exc:
-        print(f"repro-opt: parse error: {exc}", file=sys.stderr)
+        segments = _collect_segments(args)
+    except OSError as exc:
+        print(f"repro-opt: cannot read input: {exc}", file=sys.stderr)
         return 1
+
+    modules = []
+    for label, text in segments:
+        try:
+            modules.append(parse_module(
+                text, allow_unregistered=args.allow_unregistered))
+        except ParseError as exc:
+            print(f"repro-opt: {label}: parse error: {exc}", file=sys.stderr)
+            return 1
 
     try:
         if args.pipeline:
-            manager = build_named_pipeline(args.pipeline)
+            manager = build_named_pipeline(args.pipeline, jobs=args.jobs)
         elif args.passes:
             manager = parse_pass_pipeline(args.passes)
+            manager.jobs = args.jobs
         else:
             manager = None
     except ValueError as exc:
         print(f"repro-opt: {exc}", file=sys.stderr)
         return 2
 
+    cache = None
     if manager is not None:
         if args.verify_each:
             manager.add_instrumentation(VerifierInstrumentation())
@@ -192,23 +258,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print_after=print_after))
         if args.dump_pass_pipeline:
             print(dump_pass_pipeline(manager), file=sys.stderr)
+        # A cache can only hit across segments of one invocation, and an
+        # instrumented manager never consults it (hits would swallow
+        # --verify-each / --print-ir output) — create one only when it
+        # can actually serve, so --report never shows a dead cache.
+        if not args.no_cache and len(segments) > 1 \
+                and not manager.instrumentations:
+            cache = CompileCache()
+            manager.cache = cache
 
+    # One report aggregates the whole batch: every segment runs the same
+    # pipeline, so position-keyed timing buckets sum across segments.
+    report = CompileReport() if manager is not None else None
+    printed: List[str] = []
     try:
-        if not args.no_verify:
-            verify(module)
-        report = manager.run(module) if manager is not None else None
-        if not args.no_verify:
-            verify(module)
-    except VerificationError as exc:
-        print(f"repro-opt: verification failed: {exc}", file=sys.stderr)
-        return 1
-    except ValueError as exc:
-        print(f"repro-opt: {exc}", file=sys.stderr)
-        return 2
+        for (label, _), module in zip(segments, modules):
+            try:
+                if not args.no_verify:
+                    verify(module)
+                if manager is not None:
+                    manager.run(module, report=report)
+                if not args.no_verify:
+                    verify(module)
+            except VerificationError as exc:
+                print(f"repro-opt: {label}: verification failed: {exc}",
+                      file=sys.stderr)
+                return 1
+            except ValueError as exc:
+                print(f"repro-opt: {label}: {exc}", file=sys.stderr)
+                return 2
+            printed.append(Printer().print_module(module) + "\n")
+    finally:
+        if manager is not None:
+            manager.close()
 
-    _write_output(args.output, Printer().print_module(module) + "\n")
+    _write_output(args.output, (SPLIT_MARKER + "\n").join(printed))
     if args.report and report is not None:
         print(report.summary(), file=sys.stderr)
+        if cache is not None:
+            stats = cache.describe()
+            print(f"compile cache: {stats['hits']} hits, "
+                  f"{stats['misses']} misses, {stats['entries']} entries",
+                  file=sys.stderr)
     if args.timing and report is not None:
         print(_format_timing_table(report.timings), file=sys.stderr)
     return 0

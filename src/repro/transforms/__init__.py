@@ -15,6 +15,7 @@ from .host_raising import (
     classify_runtime_call,
     extract_kernel_name,
 )
+from .compile_cache import CachedCompile, CacheStats, CompileCache
 from .licm import LoopInvariantCodeMotion, VersionedLICM
 from .loop_internalization import LoopInternalization, work_group_size_of
 from .lower_sycl import LowerAccessorSubscripts
@@ -69,6 +70,7 @@ __all__ = [
     "LoopInvariantCodeMotion", "VersionedLICM",
     "LoopInternalization", "work_group_size_of",
     "LowerAccessorSubscripts",
+    "CachedCompile", "CacheStats", "CompileCache",
     "CompileReport", "FunctionPass", "IRPrintingInstrumentation",
     "ModulePass", "OpPassManager", "Pass", "PassInstrumentation",
     "PassManager", "PassOptions", "PassRegistration", "PassStatistic",

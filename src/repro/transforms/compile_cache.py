@@ -1,0 +1,144 @@
+"""Fingerprint-keyed compile caching.
+
+A :class:`CompileCache` memoizes pass-manager runs: the key is
+``(textual fingerprint of the input, canonical pipeline spec)`` and
+the value is a detached *template* of the optimized module plus the
+statistics and remarks the run produced.  The textual fingerprint is a
+hash of the *printed* module — hits splice a printable result back in,
+so the key must capture exactly what determines output identity,
+including SSA name spellings (the structural fingerprint in
+``repro.ir.fingerprint`` deliberately ignores those; it serves
+name-insensitive equivalence queries like function deduplication).  Compiling the same module
+through the same pipeline a second time short-circuits the whole
+pipeline — the template is deep-cloned and spliced back in, which is
+structurally identical to a cold compile (``Operation.clone`` copies the
+full region tree) and several times cheaper than re-parsing printed IR.
+The template itself is never handed out, so later mutation of a spliced
+result cannot poison the cache.
+
+The cache is thread-safe (one lock around the LRU table) and is designed
+to be *shared*: one cache serves every segment of a ``repro-opt``
+batch run and every worker of a ``jobs=N`` pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import Operation
+
+#: Cache keys: ``(input fingerprint, canonical pipeline spec)``.
+CacheKey = Tuple[str, str]
+
+
+def text_fingerprint(text: str) -> str:
+    """Hex digest of a printed module: the cache's input identity."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass
+class CachedCompile:
+    """The reusable outcome of one pass-manager run."""
+
+    #: Detached optimized module; hits splice a deep clone of it.
+    module: Operation
+    #: ``(pass_name, statistic name, value)`` triples.
+    statistics: List[Tuple[str, str, int]] = field(default_factory=list)
+    remarks: List[str] = field(default_factory=list)
+
+    def materialize(self) -> Operation:
+        """A private deep clone of the cached module."""
+        return self.module.clone({})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed in reports and ``BENCH_4.json``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class CompileCache:
+    """An LRU map from ``(fingerprint, pipeline spec)`` to compile results.
+
+    ``max_entries=None`` means unbounded — the right default for a batch
+    driver whose working set is one invocation.  Long-lived services
+    should bound it; eviction is least-recently-used.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CachedCompile]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key_for(op: Operation, pipeline_spec: str) -> CacheKey:
+        """The cache key of compiling ``op`` through ``pipeline_spec``.
+
+        Must be computed *before* the run — the fingerprint of the input,
+        not of the optimized output.  Keyed on the printed form: inputs
+        that print identically compile identically, and inputs that print
+        differently (even only in SSA names) must never share a key, or a
+        hit would rewrite the later input's spelling.
+        """
+        from ..ir import Printer
+
+        return (text_fingerprint(Printer().print_module(op)), pipeline_spec)
+
+    def lookup(self, key: CacheKey) -> Optional[CachedCompile]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def store(self, key: CacheKey, entry: CachedCompile) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def describe(self) -> Dict[str, int]:
+        """JSON-able snapshot for reports and benchmarks."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+            }
+
+    def __repr__(self) -> str:
+        return (f"<CompileCache entries={len(self)} "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")

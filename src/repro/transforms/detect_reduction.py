@@ -39,7 +39,6 @@ from ..dialects import arith
 from ..dialects import scf as scf_dialect
 from ..dialects.func import FuncOp
 from ..analysis.alias import AliasAnalysis
-from ..analysis.sycl_alias import SYCLAliasAnalysis
 from .licm import ALIAS_CHOICES, alias_spec_name, make_alias_analysis
 from .pass_manager import (
     CompileReport,

@@ -20,9 +20,9 @@ coupling in one place.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..ir import Operation, StringAttr, SymbolRefAttr
+from ..ir import Operation, SymbolRefAttr
 from ..dialects.llvm import LLVMCallOp, LLVMFuncOp
 from ..dialects.sycl import SYCLHostConstructorOp, SYCLHostScheduleKernelOp
 from .pass_manager import CompileReport, ModulePass, register_pass

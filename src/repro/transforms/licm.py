@@ -27,10 +27,8 @@ from typing import List, Optional
 from ..ir import (
     EffectKind,
     Operation,
-    Trait,
     Value,
     get_memory_effects,
-    has_trait,
     is_side_effect_free,
 )
 from ..dialects import affine as affine_dialect

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir import (
-    Block,
     IntegerAttr,
     MemRefType,
     Operation,

@@ -25,7 +25,10 @@ from __future__ import annotations
 import dataclasses
 import re
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -39,8 +42,12 @@ from typing import (
     Union,
 )
 
-from ..ir import Operation
-from ..dialects.builtin import ModuleOp
+from ..ir import Operation, Trait, has_trait
+from ..ir.concurrency import (
+    WriteGuard,
+    guarded_region,
+    unregistered_threading_allowed,
+)
 from ..dialects.func import FuncOp
 
 #: Operation names a pipeline may anchor on.  ``builtin.module`` pipelines
@@ -109,10 +116,18 @@ class CompileReport:
     def remark(self, message: str) -> None:
         self.remarks.append(message)
 
-    def merge(self, other: "CompileReport") -> None:
+    def merge(self, other: "CompileReport",
+              renumber_timings: bool = True) -> None:
         for stat in other.statistics:
             self.add_statistic(stat.pass_name, stat.name, stat.value)
         self.remarks.extend(other.remarks)
+        if not renumber_timings:
+            # ``other`` describes the *same* pipeline (e.g. a per-function
+            # worker report from the parallel scheduler): its position keys
+            # already match ours, so buckets must sum, not shift.
+            for key, value in other.timings.items():
+                self.timings[key] = self.timings.get(key, 0.0) + value
+            return
         # Position-keyed timings from another report describe a *different*
         # pipeline run; renumber them past this report's positions so two
         # "0: canonicalize" buckets from unrelated pipelines stay distinct
@@ -603,6 +618,23 @@ class OpPassManager:
         return f"<OpPassManager {self.to_spec()}>"
 
 
+@dataclass
+class _RunState:
+    """Per-``run`` scheduling context threaded through pipeline execution."""
+
+    #: Serializes instrumentation hook batches across workers (the PR 3
+    #: ordering contract: before-hooks in registration order, after-hooks
+    #: reversed, never interleaved within one pass execution).
+    hook_lock: Optional[threading.Lock] = None
+    #: The shared worker pool; ``None`` disables parallel dispatch.
+    executor: Optional[ThreadPoolExecutor] = None
+    #: The root run's timing instrumentation (replaced by a per-worker
+    #: instance inside workers — its start/stop stack is not thread-safe).
+    timing: Optional[TimingInstrumentation] = None
+    #: True inside a worker thread: nested dispatch stays serial.
+    in_worker: bool = False
+
+
 class PassManager(OpPassManager):
     """The root pipeline: runs the pass tree and collects a report.
 
@@ -611,16 +643,31 @@ class PassManager(OpPassManager):
     :meth:`add_instrumentation` observe every pass execution; wall-clock
     timing is always recorded into ``report.timings`` keyed by pipeline
     position.
+
+    ``jobs=N`` enables the parallel scheduler: nested ``func.func``
+    pipelines run once per function *concurrently* across a shared
+    ``ThreadPoolExecutor`` (functions are isolated from above, so workers
+    cannot reach each other's IR; a :class:`~repro.ir.WriteGuard` enforces
+    that).  ``cache`` attaches a
+    :class:`~repro.transforms.compile_cache.CompileCache`: a run whose
+    ``(module fingerprint, pipeline spec)`` key is cached short-circuits
+    the whole pipeline.
     """
 
     def __init__(self, passes: Optional[Iterable[Pass]] = None,
                  verify_after_each: bool = False,
-                 anchor: str = MODULE_ANCHOR):
+                 anchor: str = MODULE_ANCHOR,
+                 jobs: int = 1,
+                 cache: Optional["CompileCache"] = None):
         super().__init__(anchor)
         for pass_ in passes or []:
             self.add(pass_)
         self.instrumentations: List[PassInstrumentation] = []
         self.verify_after_each = verify_after_each
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_jobs = 0
         if verify_after_each:
             self.add_instrumentation(VerifierInstrumentation())
 
@@ -629,26 +676,105 @@ class PassManager(OpPassManager):
         self.instrumentations.append(instrumentation)
         return self
 
+    def close(self) -> None:
+        """Shut down the shared worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_jobs = 0
+
+    def _ensure_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared pool for ``jobs>1``, recreated if ``jobs`` changed.
+
+        One pool serves every ``run`` of this manager — batch drivers
+        compile many modules through the same warm pool.
+        """
+        if self.jobs <= 1:
+            self.close()
+            return None
+        if self._executor is None or self._executor_jobs != self.jobs:
+            self.close()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.jobs,
+                thread_name_prefix="repro-pass-worker")
+            self._executor_jobs = self.jobs
+        return self._executor
+
     # -- execution -----------------------------------------------------------
     def run(self, op: Operation,
             report: Optional[CompileReport] = None) -> CompileReport:
         report = report if report is not None else CompileReport()
+        cache_key = None
+        # A cache hit skips pass execution entirely, so it must not be
+        # taken while instrumentations are attached — --verify-each and
+        # the IR-printing hooks observe *runs*, and silently dropping
+        # their output on repeated inputs would be wrong.
+        if self.cache is not None and not self.instrumentations \
+                and op.name == MODULE_ANCHOR:
+            # Key on the *input* fingerprint, before the pipeline mutates it.
+            start = time.perf_counter()
+            cache_key = self.cache.key_for(op, self.to_spec())
+            hit = self.cache.lookup(cache_key)
+            if hit is not None:
+                self._splice_cached(op, hit.materialize())
+                for pass_name, name, value in hit.statistics:
+                    report.add_statistic(pass_name, name, value)
+                report.remarks.extend(hit.remarks)
+                report.add_statistic("compile-cache", "hits", 1)
+                # The hit's real cost (fingerprint + lookup + splice), so
+                # --timing tables account for warm segments instead of
+                # silently omitting them while statistics sum.
+                elapsed = time.perf_counter() - start
+                report.timings["compile-cache: hit"] = \
+                    report.timings.get("compile-cache: hit", 0.0) + elapsed
+                return report
+        fresh = CompileReport() if cache_key is not None else report
+        self._execute(op, fresh)
+        if cache_key is not None:
+            from .compile_cache import CachedCompile
+
+            self.cache.store(cache_key, CachedCompile(
+                module=op.clone({}),
+                statistics=[(s.pass_name, s.name, s.value)
+                            for s in fresh.statistics],
+                remarks=list(fresh.remarks)))
+            report.merge(fresh, renumber_timings=False)
+            report.add_statistic("compile-cache", "misses", 1)
+        return report
+
+    def _execute(self, op: Operation, report: CompileReport) -> None:
         # The built-in timing instrumentation is per-run and innermost
         # (last in before-order, first in after-order), so user hooks are
         # not charged to the pass they wrap.
         timing = TimingInstrumentation()
         instrumentations = list(self.instrumentations) + [timing]
         positions = self._slot_positions()
+        state = _RunState(hook_lock=threading.Lock(),
+                          executor=self._ensure_executor(),
+                          timing=timing)
         for instrumentation in instrumentations:
             instrumentation.run_before_pipeline(op)
         try:
-            self._run_pipeline(self, op, report, instrumentations, positions)
+            self._run_pipeline(self, op, report, instrumentations, positions,
+                               state)
         finally:
             for key, value in timing.timings.items():
                 report.timings[key] = report.timings.get(key, 0.0) + value
             for instrumentation in reversed(instrumentations):
                 instrumentation.run_after_pipeline(op)
-        return report
+
+    @staticmethod
+    def _splice_cached(op: Operation, materialized: Operation) -> None:
+        """Replace ``op``'s body with a materialized cached result.
+
+        ``materialized`` is a private deep clone of the cached template,
+        so the spliced body is structurally identical to what a cold
+        compile would have produced and shares no state with the cache.
+        """
+        target = op.regions[0].blocks[0]
+        target.erase_all_ops()
+        for child in materialized.regions[0].blocks[0].operations:
+            target.append(child)
 
     def _slot_positions(self) -> Dict[Tuple[int, int], int]:
         """Pipeline position per ``(id(pipeline), element index)`` slot.
@@ -674,21 +800,28 @@ class PassManager(OpPassManager):
     def _run_pipeline(self, pipeline: OpPassManager, op: Operation,
                       report: CompileReport,
                       instrumentations: List[PassInstrumentation],
-                      positions: Dict[Tuple[int, int], int]) -> None:
+                      positions: Dict[Tuple[int, int], int],
+                      state: Optional[_RunState] = None) -> None:
         for index, element in enumerate(pipeline.elements):
             if isinstance(element, OpPassManager):
-                for anchored in self._anchored_ops(op, element.anchor):
+                anchored_ops = self._anchored_ops(op, element.anchor)
+                if self._should_parallelize(element, anchored_ops, state):
+                    self._run_pipeline_parallel(
+                        element, anchored_ops, report, instrumentations,
+                        positions, state)
+                    continue
+                for anchored in anchored_ops:
                     if anchored.parent is None and anchored is not op:
                         continue  # erased by an earlier sibling run
                     self._run_pipeline(element, anchored, report,
-                                       instrumentations, positions)
+                                       instrumentations, positions, state)
             else:
                 # (Re-)label the pass with this slot's position right
                 # before the hooks fire; a shared instance is thus always
                 # reported under the slot it is currently running in.
                 element.pipeline_position = \
                     positions[(id(pipeline), index)]
-                self._run_pass(element, op, report, instrumentations)
+                self._run_pass(element, op, report, instrumentations, state)
 
     @staticmethod
     def _anchored_ops(root: Operation, anchor: str) -> List[Operation]:
@@ -697,19 +830,113 @@ class PassManager(OpPassManager):
         return [op for op in root.walk(include_self=False)
                 if op.name == anchor]
 
+    def _should_parallelize(self, pipeline: OpPassManager,
+                            anchored_ops: List[Operation],
+                            state: Optional[_RunState]) -> bool:
+        """Whether this nested pipeline dispatch may fan out to the pool.
+
+        Requires: an active pool, not already inside a worker, at least
+        two anchors, every anchor isolated from above (so workers cannot
+        reach each other's IR through SSA uses), and a distinct pass
+        instance per slot (a shared instance would race on its
+        ``pipeline_position`` label).
+        """
+        if state is None or state.executor is None or state.in_worker:
+            return False
+        if pipeline.anchor != FUNCTION_ANCHOR or len(anchored_ops) < 2:
+            return False
+        if not all(has_trait(anchored, Trait.ISOLATED_FROM_ABOVE)
+                   for anchored in anchored_ops):
+            return False
+        passes = pipeline.passes
+        return len({id(pass_) for pass_ in passes}) == len(passes)
+
+    def _run_pipeline_parallel(self, pipeline: OpPassManager,
+                               anchored_ops: List[Operation],
+                               report: CompileReport,
+                               instrumentations: List[PassInstrumentation],
+                               positions: Dict[Tuple[int, int], int],
+                               state: _RunState) -> None:
+        """Run ``pipeline`` once per anchored function, across the pool.
+
+        Each worker compiles one function into a private
+        :class:`CompileReport` with a private timing instrumentation (the
+        shared one's start/stop stack is not thread-safe); user hooks are
+        shared but serialized through ``state.hook_lock``.  Worker reports
+        merge into ``report`` in anchor order, so statistics totals, list
+        order and timing keys are identical to a serial run.
+        """
+        guard = None if unregistered_threading_allowed() else WriteGuard()
+        if guard is not None:
+            # Protect the attached run root (the module): shared IR under
+            # it is read-only for workers, while detached subtrees (clones,
+            # builder fragments) remain freely mutable.
+            root = anchored_ops[0]
+            while root.parent_op() is not None:
+                root = root.parent_op()
+            guard.protect(root)
+        shared_hooks = [instr for instr in instrumentations
+                        if instr is not state.timing]
+
+        def compile_function(anchored: Operation) -> CompileReport:
+            if guard is not None:
+                guard.claim(anchored)
+            try:
+                local_report = CompileReport()
+                local_timing = TimingInstrumentation()
+                worker_state = dataclasses.replace(state, in_worker=True)
+                self._run_pipeline(pipeline, anchored, local_report,
+                                   shared_hooks + [local_timing], positions,
+                                   worker_state)
+                local_report.merge(
+                    CompileReport(timings=dict(local_timing.timings)),
+                    renumber_timings=False)
+                return local_report
+            finally:
+                if guard is not None:
+                    guard.release(anchored)
+
+        with guarded_region(guard):
+            futures = [state.executor.submit(compile_function, anchored)
+                       for anchored in anchored_ops
+                       if anchored.parent is not None]
+            local_reports: List[Optional[CompileReport]] = []
+            first_error: Optional[BaseException] = None
+            for future in futures:
+                try:
+                    local_reports.append(future.result())
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    local_reports.append(None)
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+        for local_report in local_reports:
+            if local_report is not None:
+                report.merge(local_report, renumber_timings=False)
+
     def _run_pass(self, pass_: Pass, op: Operation, report: CompileReport,
-                  instrumentations: List[PassInstrumentation]) -> None:
+                  instrumentations: List[PassInstrumentation],
+                  state: Optional[_RunState] = None) -> None:
         from ..ir import VerificationError
 
-        for instrumentation in instrumentations:
-            instrumentation.run_before_pass(pass_, op)
+        # Hook batches are serialized across workers; the pass body itself
+        # runs outside the lock — that is where the parallelism is.
+        hook_lock = (state.hook_lock
+                     if state is not None and state.in_worker
+                     and state.hook_lock is not None else nullcontext())
+        with hook_lock:
+            for instrumentation in instrumentations:
+                instrumentation.run_before_pass(pass_, op)
         pass_.run(op, report)
         try:
-            for instrumentation in reversed(instrumentations):
-                instrumentation.run_after_pass(pass_, op)
+            with hook_lock:
+                for instrumentation in reversed(instrumentations):
+                    instrumentation.run_after_pass(pass_, op)
         except VerificationError as error:
-            for instrumentation in instrumentations:
-                instrumentation.run_after_failed_verify(pass_, op, error)
+            with hook_lock:
+                for instrumentation in instrumentations:
+                    instrumentation.run_after_failed_verify(pass_, op, error)
             raise
 
     def __repr__(self) -> str:

@@ -34,7 +34,7 @@ Pass names resolve through the declarative registry populated by the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..analysis.alias import AliasAnalysis
@@ -94,11 +94,12 @@ def _nest_function_passes(pm: PassManager, passes: List[Pass]) -> None:
         nested.add(pass_)
 
 
-def sycl_mlir_pipeline(options: Optional[OptimizationOptions] = None) -> PassManager:
+def sycl_mlir_pipeline(options: Optional[OptimizationOptions] = None,
+                       jobs: int = 1) -> PassManager:
     """The SYCL-MLIR optimization pipeline (host + device, Sections V-VII)."""
     options = options or OptimizationOptions()
     alias = SYCLAliasAnalysis()
-    pm = PassManager()
+    pm = PassManager(jobs=jobs)
     if options.canonicalize:
         _nest_function_passes(pm, [CanonicalizePass(), CSEPass()])
     if options.host_raising:
@@ -120,7 +121,8 @@ def sycl_mlir_pipeline(options: Optional[OptimizationOptions] = None) -> PassMan
     return pm
 
 
-def dpcpp_pipeline(options: Optional[OptimizationOptions] = None) -> PassManager:
+def dpcpp_pipeline(options: Optional[OptimizationOptions] = None,
+                   jobs: int = 1) -> PassManager:
     """The DPC++ baseline: premature lowering + generic optimizations.
 
     The generic optimizations use the dialect-independent alias analysis, so
@@ -142,14 +144,14 @@ def dpcpp_pipeline(options: Optional[OptimizationOptions] = None) -> PassManager
     if options.detect_reduction:
         passes.append(DetectReduction(alias_analysis=alias))
     passes.extend([CanonicalizePass(), CSEPass(), DCEPass()])
-    pm = PassManager()
+    pm = PassManager(jobs=jobs)
     _nest_function_passes(pm, passes)
     return pm
 
 
-def adaptivecpp_aot_pipeline() -> PassManager:
+def adaptivecpp_aot_pipeline(jobs: int = 1) -> PassManager:
     """AdaptiveCpp ahead-of-time part: lowering + light cleanup only."""
-    pm = PassManager()
+    pm = PassManager(jobs=jobs)
     _nest_function_passes(pm, [
         CanonicalizePass(),
         CSEPass(),
@@ -160,7 +162,7 @@ def adaptivecpp_aot_pipeline() -> PassManager:
     return pm
 
 
-def adaptivecpp_jit_pipeline() -> PassManager:
+def adaptivecpp_jit_pipeline(jobs: int = 1) -> PassManager:
     """AdaptiveCpp launch-time (JIT) optimizations after specialization.
 
     The runtime-checked alias analysis trusts the disjointness facts the JIT
@@ -169,7 +171,7 @@ def adaptivecpp_jit_pipeline() -> PassManager:
     by the compiler driver).
     """
     alias = RuntimeCheckedAliasAnalysis()
-    pm = PassManager()
+    pm = PassManager(jobs=jobs)
     _nest_function_passes(pm, [
         CanonicalizePass(),
         CSEPass(),
@@ -512,37 +514,42 @@ def dump_pass_pipeline(pipeline: OpPassManager) -> str:
     return pipeline.to_spec()
 
 
-def _options_free(name: str, builder: Callable[[], PassManager]):
+def _options_free(name: str, builder: Callable[[int], PassManager]):
     """Wrap a pipeline that takes no options; reject options explicitly."""
 
-    def build(options: Optional[OptimizationOptions] = None) -> PassManager:
+    def build(options: Optional[OptimizationOptions] = None,
+              jobs: int = 1) -> PassManager:
         if options is not None:
             raise ValueError(
                 f"pipeline {name!r} does not accept optimization options")
-        return builder()
+        return builder(jobs)
 
     return build
 
 
 #: Full compiler-model pipelines selectable by name (`repro-opt --pipeline`).
-NAMED_PIPELINES: Dict[str, Callable[[Optional[OptimizationOptions]],
-                                    PassManager]] = {
+NAMED_PIPELINES: Dict[str, Callable[..., PassManager]] = {
     "sycl-mlir": sycl_mlir_pipeline,
     "dpcpp": dpcpp_pipeline,
     "adaptivecpp-aot": _options_free(
-        "adaptivecpp-aot", lambda: adaptivecpp_aot_pipeline()),
+        "adaptivecpp-aot", lambda jobs: adaptivecpp_aot_pipeline(jobs=jobs)),
     "adaptivecpp-jit": _options_free(
-        "adaptivecpp-jit", lambda: adaptivecpp_jit_pipeline()),
+        "adaptivecpp-jit", lambda jobs: adaptivecpp_jit_pipeline(jobs=jobs)),
 }
 
 
 def build_named_pipeline(
         name: str,
-        options: Optional[OptimizationOptions] = None) -> PassManager:
-    """Instantiate one of the paper's three compiler-model pipelines."""
+        options: Optional[OptimizationOptions] = None,
+        jobs: int = 1) -> PassManager:
+    """Instantiate one of the paper's three compiler-model pipelines.
+
+    ``jobs`` sizes the per-function parallel scheduler of the returned
+    :class:`PassManager` (1 = serial).
+    """
     builder = NAMED_PIPELINES.get(name)
     if builder is None:
         raise ValueError(
             f"unknown pipeline {name!r}; available pipelines: "
             f"{', '.join(sorted(NAMED_PIPELINES))}")
-    return builder(options)
+    return builder(options, jobs=jobs)

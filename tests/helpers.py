@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.dialects import affine, arith, builtin, func, memref, scf, sycl
 from repro.ir import (
     Builder,
-    DYNAMIC,
     InsertionPoint,
     MemRefType,
     StringAttr,

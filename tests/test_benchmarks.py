@@ -11,6 +11,7 @@ from benchmarks.generate import (  # noqa: E402
     count_ops,
     generate_module,
 )
+from benchmarks import compare as bench_compare  # noqa: E402
 from benchmarks.runner import bench_config, main as runner_main  # noqa: E402
 from repro.ir import Printer, parse_module, verify  # noqa: E402
 
@@ -54,3 +55,105 @@ class TestRunner:
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro-bench/1"
         assert payload["records"][0]["num_ops"] > 0
+
+    def test_parallel_speedups_keyed_against_first_job_count(self, tmp_path):
+        # Regression: a custom --jobs-list not starting at 1 must not
+        # record a serial-vs-itself ratio.
+        out = tmp_path / "bench.json"
+        assert runner_main(["--smoke", "--concurrency",
+                            "--jobs-list", "2,4", "--functions", "4",
+                            "--out", str(out)]) == 0
+        parallel = json.loads(out.read_text())["concurrency"]["parallel"]
+        assert set(parallel["speedup_vs_serial"]) == {"4"}
+
+    def test_concurrency_suite_shape(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert runner_main(["--smoke", "--concurrency",
+                            "--jobs-list", "1,2", "--functions", "4",
+                            "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        parallel = payload["concurrency"]["parallel"]
+        assert parallel["num_functions"] >= 4
+        assert set(parallel["jobs_timings_s"]) == {"1", "2"}
+        assert "2" in parallel["speedup_vs_serial"]
+        cache = payload["concurrency"]["cache"]
+        assert cache["cold_s"] > 0 and cache["warm_s"] > 0
+        assert cache["cache"]["hits"] >= 1
+
+
+class TestCompareGate:
+    def _payload(self, scale=1.0):
+        return {
+            "records": [{
+                "config": {"num_ops": 500},
+                "timings_s": {"canonicalize+cse": 0.1 * scale,
+                              "parse": 0.2 * scale},
+            }],
+            "concurrency": {
+                "parallel": {"jobs_timings_s": {"1": 0.4 * scale,
+                                                "4": 0.3 * scale}},
+                "cache": {"cold_s": 0.5 * scale, "warm_s": 0.05 * scale},
+            },
+        }
+
+    def test_flatten_tracks_all_scenario_families(self):
+        scenarios = bench_compare.flatten_scenarios(self._payload())
+        assert set(scenarios) == {
+            "500ops/canonicalize+cse", "500ops/parse",
+            "parallel/jobs=1", "parallel/jobs=4",
+            "cache/cold", "cache/warm",
+        }
+
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        rc = self._run_main(tmp_path, self._payload(), self._payload())
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_slowdown_beyond_threshold_fails(self, tmp_path, capsys):
+        rc = self._run_main(tmp_path, self._payload(),
+                            self._payload(scale=1.5))
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_speedup_passes(self, tmp_path):
+        assert self._run_main(tmp_path, self._payload(),
+                              self._payload(scale=0.5)) == 0
+
+    def test_sub_threshold_timings_are_skipped(self, tmp_path, capsys):
+        baseline = {"records": [{"config": {"num_ops": 10},
+                                 "timings_s": {"parse": 0.0001}}]}
+        candidate = {"records": [{"config": {"num_ops": 10},
+                                  "timings_s": {"parse": 0.01}}]}
+        rc = self._run_main(tmp_path, baseline, candidate)
+        assert rc == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_no_common_scenarios_is_a_usage_error(self, tmp_path):
+        assert self._run_main(tmp_path, {"records": []},
+                              {"records": []}) == 2
+
+    def test_normalize_cancels_uniform_machine_drift(self, tmp_path):
+        # A uniformly 1.5x-slower machine passes under --normalize ...
+        rc = self._run_main(tmp_path, self._payload(),
+                            self._payload(scale=1.5), "--normalize")
+        assert rc == 0
+
+    def test_normalize_still_catches_relative_regressions(self, tmp_path,
+                                                          capsys):
+        # ... but a scenario slowed far beyond the suite median fails.
+        slow = self._payload(scale=1.5)
+        slow["records"][0]["timings_s"]["parse"] = 0.2 * 1.5 * 2.0
+        rc = self._run_main(tmp_path, self._payload(), slow, "--normalize")
+        assert rc == 1
+        assert "500ops/parse" in capsys.readouterr().err
+
+    @staticmethod
+    def _run_main(tmp_path, baseline, candidate, *extra):
+        baseline_path = tmp_path / "baseline.json"
+        candidate_path = tmp_path / "candidate.json"
+        baseline_path.write_text(json.dumps(baseline), encoding="utf-8")
+        candidate_path.write_text(json.dumps(candidate), encoding="utf-8")
+        return bench_compare.main([str(baseline_path), str(candidate_path),
+                                   *extra])

@@ -1,6 +1,5 @@
 """Tests reproducing the IR-level examples (Listings 1-5) of the paper."""
 
-import pytest
 
 from repro.analysis import (
     MemoryAccessAnalysis,

@@ -41,7 +41,6 @@ from repro.transforms import (
     register_pass,
     sycl_mlir_pipeline,
 )
-from repro.analysis.sycl_alias import SYCLAliasAnalysis
 
 from .helpers import (
     build_listing1_function,

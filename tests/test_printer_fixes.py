@@ -3,7 +3,7 @@
 import re
 
 from repro.dialects import arith, builtin
-from repro.ir import Block, Operation, Printer, Region, i64
+from repro.ir import Block, Operation, Printer, i64
 
 
 class TestNameCollisions:
