@@ -57,7 +57,40 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
     for phase in ("cold", "warm"):
         if f"{phase}_s" in cache:
             scenarios[f"cache/{phase}"] = cache[f"{phase}_s"]
+    interp = results.get("interp", {})
+    for record in interp.get("records", ()):
+        name = record.get("name")
+        seconds = record.get("seconds")
+        if name is not None and seconds is not None:
+            scenarios[f"interp/{name}"] = seconds
     return scenarios
+
+
+def scenarios_missing_from_baseline(baseline: Dict,
+                                    candidate: Dict) -> List[str]:
+    """Tracked scenarios the candidate has but the baseline lacks.
+
+    A non-empty result means the committed ``BENCH_*.json`` predates a
+    scenario family (e.g. a fresh run with ``--interp`` compared against
+    a pre-interpreter baseline) — the gate reports that clearly instead
+    of silently not gating the new scenarios.
+    """
+    baseline_names = set(flatten_scenarios(baseline))
+    return sorted(name for name in flatten_scenarios(candidate)
+                  if name not in baseline_names)
+
+
+def scenarios_missing_from_candidate(baseline: Dict,
+                                     candidate: Dict) -> List[str]:
+    """Tracked baseline scenarios the candidate run did not produce.
+
+    These stay ungated (partial re-runs are a legitimate workflow), but
+    the gate prints them so a runner invocation that silently dropped a
+    scenario family (e.g. a missing ``--interp``) is visible in the log.
+    """
+    candidate_names = set(flatten_scenarios(candidate))
+    return sorted(name for name in flatten_scenarios(baseline)
+                  if name not in candidate_names)
 
 
 def compare(baseline: Dict, candidate: Dict,
@@ -137,6 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "gated scenarios before thresholding, "
                              "cancelling machine drift between the "
                              "baseline host and this one")
+    parser.add_argument("--allow-new-scenarios", action="store_true",
+                        help="tolerate candidate scenarios absent from the "
+                             "baseline (they are reported but not gated); "
+                             "without this flag a stale baseline is a "
+                             "usage error")
     args = parser.parse_args(argv)
 
     try:
@@ -147,6 +185,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"benchmarks.compare: {exc}", file=sys.stderr)
         return 2
+
+    missing = scenarios_missing_from_baseline(baseline, candidate)
+    if missing:
+        message = (
+            f"benchmarks.compare: baseline {args.baseline!r} lacks "
+            f"{len(missing)} scenario(s) present in the fresh run: "
+            f"{', '.join(missing)} — regenerate the baseline "
+            "(commit a new BENCH_<pr>.json) or pass "
+            "--allow-new-scenarios to leave them ungated")
+        if not args.allow_new_scenarios:
+            print(message, file=sys.stderr)
+            return 2
+        print(message.replace("benchmarks.compare:",
+                              "benchmarks.compare: note:"))
+    unproduced = scenarios_missing_from_candidate(baseline, candidate)
+    if unproduced:
+        print("benchmarks.compare: note: candidate did not produce "
+              f"{len(unproduced)} baseline scenario(s), left ungated: "
+              f"{', '.join(unproduced)}")
 
     rows = compare(baseline, candidate, threshold=args.threshold,
                    min_seconds=args.min_seconds, normalize=args.normalize)

@@ -1,0 +1,131 @@
+"""Interpreter benchmark scenarios (the BENCH_5 scenario family).
+
+Times the :mod:`repro.interp` execution engine on representative
+kernels:
+
+* ``interp/vecadd-exec`` — a memory-bound 1-D kernel over many work
+  items (dispatch-loop throughput; ``ops_per_second`` is the headline
+  number);
+* ``interp/gemm-exec``   — a compute-bound ND-range kernel with a loop
+  nest and work-group semantics;
+* ``interp/differential-gemm`` — a full differential check (pre-run +
+  ``sycl-mlir`` pipeline on a clone + post-run + comparison), so the
+  overhead of "prove the pipeline preserved semantics" is itself a
+  tracked regression scenario.
+
+Each record carries ``seconds`` (best of N), the interpreted op count
+and ``ops_per_second``; ``benchmarks.compare`` gates on the seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.interp import ExecutionSpec, run_differential
+from repro.interp.differential import execute_function, synthesize_spec
+
+from .kernels import build_gemm_module, build_vecadd_module
+
+
+def _vecadd_module(size: int):
+    return build_vecadd_module(size)
+
+
+def _gemm_module(size: int, work_group: int):
+    module, specs = build_gemm_module(size, work_group)
+    return module, "gemm", specs["gemm"]
+
+
+def _time_best(callable_: Callable[[], int], repeats: int):
+    """Best-of-``repeats`` (seconds, ops-of-best-run)."""
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_ops = callable_()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            ops = run_ops
+    return best, ops
+
+
+def _exec_scenario(name: str, module, entry: str, spec: ExecutionSpec,
+                   repeats: int) -> Dict:
+    function = module.lookup_symbol(entry)
+    resolved = synthesize_spec(function, spec)
+
+    def run() -> int:
+        execution = execute_function(module, function, resolved)
+        return execution.counters["ops"]
+
+    seconds, ops = _time_best(run, repeats)
+    return _record(name, seconds, ops)
+
+
+def _differential_scenario(name: str, module, entry: str,
+                           spec: ExecutionSpec, pipeline: str,
+                           repeats: int) -> Dict:
+    def run() -> int:
+        # run_differential raises if nothing executed or results differ.
+        run_differential(module, pipeline, specs={entry: spec})
+        return 0
+
+    seconds, _ = _time_best(run, repeats)
+    record = _record(name, seconds, 0)
+    record["pipeline"] = pipeline
+    return record
+
+
+def _record(name: str, seconds: float, ops: int) -> Dict:
+    record: Dict = {"name": name, "seconds": seconds, "ops": ops}
+    if ops and seconds > 0:
+        record["ops_per_second"] = ops / seconds
+    return record
+
+
+def run_interp_suite(repeats: int = 3, smoke: bool = False) -> Dict:
+    """The interpreter scenario family for ``BENCH_*.json``.
+
+    ``smoke`` shrinks the workloads for CI sanity runs; the tracked
+    baseline (and the benchmark gate) uses the full sizes.
+    """
+    vec_size = 256 if smoke else 2048
+    gemm_size = 4 if smoke else 8
+    work_group = 2 if smoke else 4
+
+    records: List[Dict] = []
+    vec_module, vec_entry, vec_spec = _vecadd_module(vec_size)
+    records.append(_exec_scenario("vecadd-exec", vec_module, vec_entry,
+                                  vec_spec, repeats))
+    gemm_module, gemm_entry, gemm_spec = _gemm_module(gemm_size, work_group)
+    records.append(_exec_scenario("gemm-exec", gemm_module, gemm_entry,
+                                  gemm_spec, repeats))
+    records.append(_differential_scenario(
+        "differential-gemm", gemm_module, gemm_entry, gemm_spec,
+        "sycl-mlir", repeats))
+    # Differential overhead relative to one plain execution of the same
+    # kernel (informational; the gate tracks the absolute seconds).
+    exec_seconds = records[1]["seconds"]
+    if exec_seconds > 0:
+        records[2]["overhead_vs_exec"] = \
+            records[2]["seconds"] / exec_seconds
+    return {
+        "config": {"vecadd_items": vec_size, "gemm_size": gemm_size,
+                   "work_group": work_group, "smoke": smoke},
+        "records": records,
+    }
+
+
+def summarize(results: Dict) -> Optional[str]:
+    interp = results.get("interp")
+    if not interp:
+        return None
+    parts = []
+    for record in interp.get("records", ()):
+        text = f"{record['name']} {record['seconds']:.4f}s"
+        if "ops_per_second" in record:
+            text += f" ({record['ops_per_second']:.0f} ops/s)"
+        parts.append(text)
+    return "interp: " + ", ".join(parts)

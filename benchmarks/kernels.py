@@ -1,0 +1,67 @@
+"""Shared interpreter workload kernels.
+
+One home for the vecadd / GEMM builders so the BENCH_5 benchmark
+scenarios, the interpreter/differential tests (via ``tests/helpers.py``)
+and the CI differential-smoke job all execute the *same* kernels — a
+shape or ``sycl.work_group_size`` change here propagates everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import builtin
+from repro.frontend.kernel_builder import AccessorParam, KernelSource
+from repro.interp import ExecutionSpec
+from repro.ir import f32, i64, int_array_attr, verify
+
+
+def build_vecadd_source() -> KernelSource:
+    """``c[i] = a[i] + b[i]`` over a 1-D range."""
+
+    def body(k):
+        i = k.global_id(0)
+        k.store("c", [i], k.load("a", [i]) + k.load("b", [i]))
+
+    return KernelSource(
+        "vecadd", body=body, nd_range_dims=1,
+        accessors=[AccessorParam("a", 1, f32(), "read"),
+                   AccessorParam("b", 1, f32(), "read"),
+                   AccessorParam("c", 1, f32(), "write")])
+
+
+def build_vecadd_module(size: int):
+    """``(module, entry name, spec)`` for a ``size``-item vecadd launch."""
+    module = builtin.ModuleOp.build("kernels")
+    module.append(build_vecadd_source().build())
+    verify(module)
+    spec = ExecutionSpec(global_size=(size,),
+                         buffers={name: (size,) for name in "abc"})
+    return module, "vecadd", spec
+
+
+def build_gemm_module(size: int = 8, work_group: int = 4):
+    """An nd_item GEMM whose ``sycl.work_group_size`` attribute makes
+    Loop Internalization fire; returns ``(module, {"gemm": spec})``."""
+
+    def body(k):
+        i = k.global_id(0)
+        j = k.global_id(1)
+        with k.loop(0, size) as kk:
+            value = k.load("C", [i, j]) \
+                + k.load("A", [i, kk]) * k.load("B", [kk, j])
+            k.store("C", [i, j], value)
+
+    source = KernelSource(
+        "gemm", body=body, nd_range_dims=2,
+        accessors=[AccessorParam("A", 2, f32(), "read"),
+                   AccessorParam("B", 2, f32(), "read"),
+                   AccessorParam("C", 2, f32(), "read_write")])
+    function = source.build()
+    function.set_attr("sycl.work_group_size",
+                      int_array_attr([work_group, work_group], i64()))
+    module = builtin.ModuleOp.build("kernels")
+    module.append(function)
+    verify(module)
+    spec = ExecutionSpec(global_size=(size, size),
+                         local_size=(work_group, work_group),
+                         buffers={name: (size, size) for name in "ABC"})
+    return module, {"gemm": spec}

@@ -226,7 +226,8 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               num_kernels: int = 2, seed: int = 0,
               concurrency: bool = False, jobs_list=DEFAULT_JOBS,
               concurrency_functions: int = 64,
-              concurrency_ops: int = 4000) -> Dict:
+              concurrency_ops: int = 4000,
+              interp: bool = False, interp_smoke: bool = False) -> Dict:
     records: List[Dict] = []
     for size in sizes:
         config = GeneratorConfig(
@@ -247,6 +248,11 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
             repeats=repeats, jobs_list=jobs_list,
             num_functions=concurrency_functions,
             num_ops=concurrency_ops, seed=seed)
+    if interp:
+        from .interp_bench import run_interp_suite
+
+        results["interp"] = run_interp_suite(repeats=repeats,
+                                             smoke=interp_smoke)
     return results
 
 
@@ -269,6 +275,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--concurrency", action="store_true",
                         help="also run the parallel-speedup and cache-hit "
                              "scenario family (the BENCH_4 scenarios)")
+    parser.add_argument("--interp", action="store_true",
+                        help="also run the interpreter execution and "
+                             "differential scenario family (the BENCH_5 "
+                             "scenarios)")
     parser.add_argument("--jobs-list", default=None, metavar="N,N,...",
                         help="job counts for the parallel scenario "
                              f"(default: {','.join(map(str, DEFAULT_JOBS))})")
@@ -300,7 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         compare_legacy=args.compare_legacy, check=check,
                         concurrency=args.concurrency, jobs_list=jobs_list,
                         concurrency_functions=concurrency_functions,
-                        concurrency_ops=concurrency_ops)
+                        concurrency_ops=concurrency_ops,
+                        interp=args.interp, interp_smoke=args.smoke)
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             results["baseline"] = json.load(handle)
@@ -330,6 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"cache: cold {cached['cold_s']:.4f}s, "
                 f"warm {cached['warm_s']:.4f}s "
                 f"({cached['speedup']:.1f}x on hit)")
+        if "interp" in results:
+            from .interp_bench import summarize
+
+            line = summarize(results)
+            if line:
+                summary.append(line)
         print("\n".join(summary), file=sys.stderr)
     else:
         sys.stdout.write(payload)

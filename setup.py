@@ -15,6 +15,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-opt = repro.tools.repro_opt:main",
+            "repro-run = repro.tools.repro_run:main",
         ],
     },
 )

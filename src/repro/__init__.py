@@ -9,9 +9,10 @@ The public API is organised in layers:
   (alias, reaching definitions, uniformity, memory access) and device /
   host-device optimizations (LICM, detect-reduction, loop internalization,
   host raising, constant propagation, dead argument elimination).
-* :mod:`repro.runtime` and :mod:`repro.execution` — the SYCL runtime
-  substrate (buffers, accessors, queues) and the device simulator used in
-  place of GPU hardware.
+* :mod:`repro.runtime` and :mod:`repro.interp` — the SYCL runtime
+  substrate (buffers, accessors, devices) and the IR interpreter /
+  differential-execution harness used in place of GPU hardware
+  (``repro-run``, ``run_differential``).
 * :mod:`repro.frontend` — the kernel-builder DSL and the three compiler
   drivers (SYCL-MLIR, DPC++ baseline, AdaptiveCpp baseline).
 * :mod:`repro.benchsuite` and :mod:`repro.evaluation` — the SYCL-Bench /
@@ -20,6 +21,6 @@ The public API is organised in layers:
 
 __version__ = "1.0.0"
 
-from . import dialects, ir
+from . import dialects, interp, ir
 
-__all__ = ["dialects", "ir", "__version__"]
+__all__ = ["dialects", "interp", "ir", "__version__"]

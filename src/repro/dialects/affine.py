@@ -249,3 +249,64 @@ def is_perfectly_nested(outer: AffineForOp, inner: AffineForOp) -> bool:
 
 class AffineDialect(Dialect):
     NAME = "affine"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp)
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import BlockResult, TrapError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+@register_evaluator("affine.yield")
+def _eval_affine_yield(ctx, op, args):
+    return BlockResult("yield", tuple(args))
+
+
+@register_evaluator("affine.for")
+def _eval_affine_for(ctx, op, args):
+    lower, upper = int(args[0]), int(args[1])
+    step = op.step
+    if step <= 0:
+        raise TrapError(f"affine.for with non-positive step {step}")
+    carried = list(args[2:])
+    body = op.body
+    for iv in range(lower, upper, step):
+        outcome = yield from ctx.exec_block(body, [iv, *carried])
+        if outcome.kind == "yield":
+            carried = list(outcome.values)
+    return carried
+
+
+@register_evaluator("affine.apply")
+def _eval_affine_apply(ctx, op, args):
+    coefficients = op.coefficients
+    if len(coefficients) != len(args):
+        raise TrapError("affine.apply coefficient / operand count mismatch")
+    total = op.get_int_attr("constant", 0)
+    for coefficient, value in zip(coefficients, args):
+        total += coefficient * int(value)
+    return [total]
+
+
+@register_evaluator("affine.min")
+def _eval_affine_min(ctx, op, args):
+    if not args:
+        raise TrapError("affine.min with no operands")
+    return [min(int(v) for v in args)]
+
+
+@register_evaluator("affine.load")
+def _eval_affine_load(ctx, op, args):
+    target = args[0]
+    ctx.counters.count_load(target.element_bytes)
+    return [target.load(args[1:])]
+
+
+@register_evaluator("affine.store")
+def _eval_affine_store(ctx, op, args):
+    target = args[1]
+    ctx.counters.count_store(target.element_bytes)
+    target.store(args[2:], args[0])
+    return []

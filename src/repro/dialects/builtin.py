@@ -89,3 +89,23 @@ class UnrealizedConversionCastOp(Operation):
 
 class BuiltinDialect(Dialect):
     NAME = "builtin"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp)
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import InterpreterError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+@register_evaluator("builtin.unrealized_conversion_cast")
+def _eval_unrealized_cast(ctx, op, args):
+    return [args[0]]
+
+
+@register_evaluator("builtin.module")
+def _eval_module(ctx, op, args):
+    raise InterpreterError(
+        "builtin.module is a container, not an executable operation; "
+        "use Interpreter.call(<function name>) instead")

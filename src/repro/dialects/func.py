@@ -134,3 +134,29 @@ class CallOp(Operation, CallOpInterface):
 
 class FuncDialect(Dialect):
     NAME = "func"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp)
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import BlockResult, InterpreterError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+@register_evaluator("func.return")
+def _eval_return(ctx, op, args):
+    return BlockResult("return", tuple(args))
+
+
+@register_evaluator("func.call")
+def _eval_call(ctx, op, args):
+    callee = op.callee_name()
+    if callee is None:
+        raise InterpreterError("func.call without a callee symbol")
+    results = yield from ctx.call(callee, args)
+    if len(results) != len(op.results):
+        raise InterpreterError(
+            f"call to '{callee}' returned {len(results)} values, "
+            f"call site expects {len(op.results)}")
+    return results

@@ -292,5 +292,48 @@ def parse_llvm_type(text, parse_type):
     return None
 
 
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp).  Host modules raised from
+# LLVM IR are modelled, not executed: only the value-level ops have
+# semantics here; memory/pointer ops trap with an explanation.
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import BlockResult, TrapError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+@register_evaluator("llvm.mlir.constant")
+def _eval_llvm_constant(ctx, op, args):
+    return [op.value]
+
+
+@register_evaluator("llvm.mlir.undef")
+def _eval_llvm_undef(ctx, op, args):
+    # A defined default keeps differential runs deterministic.
+    return [0]
+
+
+@register_evaluator("llvm.bitcast")
+def _eval_llvm_bitcast(ctx, op, args):
+    return [args[0]]
+
+
+@register_evaluator("llvm.return")
+def _eval_llvm_return(ctx, op, args):
+    return BlockResult("return", tuple(args))
+
+
+def _eval_llvm_unsupported(ctx, op, args):
+    raise TrapError(
+        f"'{op.name}' models opaque host LLVM IR and is not executable; "
+        "raise the host module (host-raising pass) or interpret device "
+        "functions instead")
+
+
+for _name in ("llvm.alloca", "llvm.load", "llvm.store", "llvm.getelementptr",
+              "llvm.call", "llvm.mlir.global", "llvm.mlir.addressof"):
+    register_evaluator(_name, _eval_llvm_unsupported)
+
+
 class LLVMDialect(Dialect):
     NAME = "llvm"

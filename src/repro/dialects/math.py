@@ -3,14 +3,24 @@
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable
 
-from ..ir import Dialect, FloatAttr, Operation, Trait, Value, register_op
+from ..ir import (
+    Dialect,
+    FloatAttr,
+    InterpretableOpInterface,
+    Operation,
+    Trait,
+    Value,
+    register_op,
+)
+from ..interp.memory import TrapError
+from ..interp.registry import register_evaluator
 from .arith import constant_value_of
 
 
-class _UnaryMathOp(Operation):
-    TRAITS = frozenset({Trait.PURE})
+class _UnaryMathOp(Operation, InterpretableOpInterface):
+    TRAITS = frozenset({Trait.PURE, Trait.MAY_TRAP})
     PY_FUNC: Callable[[float], float] = staticmethod(lambda x: x)
 
     @classmethod
@@ -23,9 +33,17 @@ class _UnaryMathOp(Operation):
             return None
         try:
             result = type(self).PY_FUNC(float(value))
-        except (ValueError, OverflowError):
+        except (ValueError, OverflowError, ZeroDivisionError):
             return None
         return [FloatAttr(result, self.results[0].type)]
+
+    def interpret(self, args, ctx):
+        # Interface-based evaluation (the registry fallback path): the
+        # dialect's PY_FUNC *is* the semantics.
+        try:
+            return [float(type(self).PY_FUNC(float(args[0])))]
+        except (ValueError, OverflowError, ZeroDivisionError) as error:
+            raise TrapError(f"'{self.name}' domain error: {error}") from None
 
 
 def _unary(name: str, func: Callable[[float], float]):
@@ -53,7 +71,7 @@ TanhOp = _unary("math.tanh", math.tanh)
 @register_op
 class PowFOp(Operation):
     OPERATION_NAME = "math.powf"
-    TRAITS = frozenset({Trait.PURE})
+    TRAITS = frozenset({Trait.PURE, Trait.MAY_TRAP})
 
     @classmethod
     def build(cls, base: Value, exponent: Value) -> "PowFOp":
@@ -64,7 +82,13 @@ class PowFOp(Operation):
         exponent = constant_value_of(self.operands[1])
         if base is None or exponent is None:
             return None
-        return [FloatAttr(float(base) ** float(exponent), self.results[0].type)]
+        # math.pow, not **: a negative base with a fractional exponent
+        # must stay unfolded (it traps at runtime), not fold to complex.
+        try:
+            result = math.pow(float(base), float(exponent))
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return None
+        return [FloatAttr(result, self.results[0].type)]
 
 
 @register_op
@@ -86,19 +110,19 @@ class FmaOp(Operation):
         return [FloatAttr(a * b + c, self.results[0].type)]
 
 
-#: Mapping used by the interpreter to evaluate unary math operations.
-UNARY_EVALUATORS: Dict[str, Callable[[float], float]] = {
-    "math.sqrt": math.sqrt,
-    "math.rsqrt": lambda x: 1.0 / math.sqrt(x),
-    "math.exp": math.exp,
-    "math.log": math.log,
-    "math.sin": math.sin,
-    "math.cos": math.cos,
-    "math.absf": abs,
-    "math.floor": math.floor,
-    "math.ceil": math.ceil,
-    "math.tanh": math.tanh,
-}
+@register_evaluator("math.powf")
+def _eval_powf(ctx, op, args):
+    # math.pow, not **: a negative base with a fractional exponent must
+    # trap (ValueError), not produce a complex that crashes downstream.
+    try:
+        return [math.pow(float(args[0]), float(args[1]))]
+    except (ValueError, OverflowError, ZeroDivisionError) as error:
+        raise TrapError(f"'math.powf' domain error: {error}") from None
+
+
+@register_evaluator("math.fma")
+def _eval_fma(ctx, op, args):
+    return [float(args[0]) * float(args[1]) + float(args[2])]
 
 
 class MathDialect(Dialect):

@@ -185,3 +185,86 @@ class CopyOp(Operation, MemoryEffectsInterface):
 
 class MemRefDialect(Dialect):
     NAME = "memref"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp)
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import MemRefStorage, TrapError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+def _eval_alloc(ctx, op, args):
+    memref_type = op.results[0].type
+    if memref_type.memory_space == "local":
+        # Work-group local tiles are shared by every item of the group
+        # (the Loop Internalization contract).
+        return [ctx.local_storage_for(op, memref_type)]
+    return [MemRefStorage.for_type(memref_type)]
+
+
+register_evaluator("memref.alloca", _eval_alloc)
+register_evaluator("memref.alloc", _eval_alloc)
+
+
+@register_evaluator("memref.dealloc")
+def _eval_dealloc(ctx, op, args):
+    return []
+
+
+@register_evaluator("memref.load")
+def _eval_load(ctx, op, args):
+    target = args[0]
+    ctx.counters.count_load(target.element_bytes)
+    return [target.load(args[1:])]
+
+
+@register_evaluator("memref.store")
+def _eval_store(ctx, op, args):
+    target = args[1]
+    ctx.counters.count_store(target.element_bytes)
+    target.store(args[2:], args[0])
+    return []
+
+
+@register_evaluator("memref.dim")
+def _eval_dim(ctx, op, args):
+    storage = args[0]
+    dim = int(args[1])
+    shape = getattr(storage, "shape", None)
+    if shape is None or not 0 <= dim < len(shape):
+        raise TrapError(f"memref.dim {dim} out of range")
+    return [int(shape[dim])]
+
+
+@register_evaluator("memref.cast")
+def _eval_cast(ctx, op, args):
+    return [args[0]]
+
+
+@register_evaluator("memref.get_global")
+def _eval_get_global(ctx, op, args):
+    name = op.get_str_attr("name", "")
+    return [ctx.interpreter.global_storage(name)]
+
+
+@register_evaluator("memref.copy")
+def _eval_copy(ctx, op, args):
+    source, target = args
+    if source.size != target.size:
+        raise TrapError("memref.copy between different element counts")
+    src_flat = getattr(source, "_flat", None)
+    dst_flat = getattr(target, "_flat", None)
+    if src_flat is not None and dst_flat is not None:
+        dst_flat[:] = src_flat  # bulk NumPy copy on the common path
+    else:
+        for i in range(source.size):
+            target.store_flat(i, source.load_flat(i))
+    # Bulk-adjust both counter families so copy-heavy IR reports the
+    # same loads/stores-to-bytes ratio as element-wise accesses.
+    ctx.counters.loads += source.size
+    ctx.counters.stores += target.size
+    ctx.counters.bytes_read += source.size * source.element_bytes
+    ctx.counters.bytes_written += target.size * target.element_bytes
+    return []

@@ -208,3 +208,79 @@ def loop_ops() -> List[str]:
 
 class SCFDialect(Dialect):
     NAME = "scf"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp).  Region-executing evaluators
+# are generator functions delegating with ``yield from`` so work-group
+# barriers nested inside loop/if bodies can suspend the work item.
+# ---------------------------------------------------------------------------
+
+import itertools  # noqa: E402
+
+from ..interp.memory import BlockResult, TrapError  # noqa: E402
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+@register_evaluator("scf.yield")
+def _eval_yield(ctx, op, args):
+    return BlockResult("yield", tuple(args))
+
+
+@register_evaluator("scf.condition")
+def _eval_condition(ctx, op, args):
+    return BlockResult("condition", tuple(args))
+
+
+@register_evaluator("scf.for")
+def _eval_for(ctx, op, args):
+    lower, upper, step = int(args[0]), int(args[1]), int(args[2])
+    if step <= 0:
+        raise TrapError(f"scf.for with non-positive step {step}")
+    carried = list(args[3:])
+    body = op.body
+    for iv in range(lower, upper, step):
+        outcome = yield from ctx.exec_block(body, [iv, *carried])
+        if outcome.kind == "yield":
+            carried = list(outcome.values)
+    return carried
+
+
+@register_evaluator("scf.if")
+def _eval_if(ctx, op, args):
+    block = op.then_block if args[0] else op.else_block
+    if block is None:
+        if op.results:
+            raise TrapError("scf.if with results but no else region")
+        return []
+    outcome = yield from ctx.exec_block(block)
+    return list(outcome.values)
+
+
+@register_evaluator("scf.while")
+def _eval_while(ctx, op, args):
+    carried = list(args)
+    while True:
+        outcome = yield from ctx.exec_block(op.before_block, carried)
+        if outcome.kind != "condition":
+            raise TrapError(
+                "scf.while 'before' region must end in scf.condition")
+        if not outcome.values[0]:
+            return list(outcome.values[1:])
+        after = yield from ctx.exec_block(op.after_block,
+                                          list(outcome.values[1:]))
+        carried = list(after.values)
+
+
+@register_evaluator("scf.parallel")
+def _eval_parallel(ctx, op, args):
+    rank = len(op.body.arguments)
+    lowers = [int(v) for v in args[:rank]]
+    uppers = [int(v) for v in args[rank:2 * rank]]
+    steps = [int(v) for v in args[2 * rank:3 * rank]]
+    if any(step <= 0 for step in steps):
+        raise TrapError("scf.parallel with non-positive step")
+    spaces = [range(lo, up, st) for lo, up, st in zip(lowers, uppers, steps)]
+    for point in itertools.product(*spaces):
+        yield from ctx.exec_block(op.body, list(point))
+    return []

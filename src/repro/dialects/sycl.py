@@ -673,6 +673,250 @@ NON_UNIFORM_QUERY_OPS: Tuple[str, ...] = (
 )
 
 
+# ---------------------------------------------------------------------------
+# Interpreter evaluators (see repro.interp)
+#
+# Work-item queries read the WorkItemBinding the launcher bound to the
+# kernel's item argument; accessor operations resolve through the
+# AccessorBinding wired to a runtime Buffer.  ``sycl.group_barrier`` is a
+# generator yielding the BARRIER signal, which suspends the work item
+# until every unfinished item of its group arrives.
+# ---------------------------------------------------------------------------
+
+from ..interp.memory import (  # noqa: E402
+    BARRIER,
+    AccessorBinding,
+    MemRefStorage,
+    MemRefView,
+    TrapError,
+    WorkItemBinding,
+)
+from ..interp.registry import register_evaluator  # noqa: E402
+
+
+def _dim_of(args) -> int:
+    return int(args[1]) if len(args) > 1 else 0
+
+
+def _at(values, dim: int, what: str) -> int:
+    """Bounds-checked component access for dimension queries."""
+    if not 0 <= dim < len(values):
+        raise TrapError(
+            f"dimension {dim} out of range for {what} of rank "
+            f"{len(values)}")
+    return int(values[dim])
+
+
+def _work_item(value) -> WorkItemBinding:
+    if not isinstance(value, WorkItemBinding):
+        raise TrapError(
+            "work-item query outside a kernel launch (the item argument "
+            f"is bound to {value!r})")
+    return value
+
+
+def _require_local(item: WorkItemBinding) -> WorkItemBinding:
+    if item.local_id is None:
+        raise TrapError(
+            "work-group query on a kernel launched without a local range")
+    return item
+
+
+def _id_tuple(value):
+    """The index tuple behind an evaluated SYCL id value."""
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, (MemRefStorage, MemRefView)):
+        loaded = value.load_flat(0) if isinstance(value, MemRefStorage) \
+            else value.load((0,))
+        if loaded is None:
+            raise TrapError("read of an unconstructed SYCL id")
+        return loaded if isinstance(loaded, tuple) else (int(loaded),)
+    return (int(value),)
+
+
+def _accessor_binding(value) -> AccessorBinding:
+    if not isinstance(value, AccessorBinding):
+        raise TrapError(
+            f"accessor operation on a non-accessor value {value!r}")
+    return value
+
+
+@register_evaluator("sycl.constructor")
+def _eval_constructor(ctx, op, args):
+    destination = args[0]
+    if not isinstance(destination, (MemRefStorage, MemRefView)):
+        raise TrapError("sycl.constructor destination is not memory")
+    constructed = tuple(int(v) for v in args[1:])
+    if isinstance(destination, MemRefStorage):
+        destination.store_flat(0, constructed)
+    else:
+        destination.store((0,), constructed)
+    return []
+
+
+@register_evaluator("sycl.id.get")
+def _eval_id_get(ctx, op, args):
+    return [_at(_id_tuple(args[0]), _dim_of(args), "the id")]
+
+
+@register_evaluator("sycl.range.get")
+def _eval_range_get(ctx, op, args):
+    return [_at(_id_tuple(args[0]), _dim_of(args), "the range")]
+
+
+@register_evaluator("sycl.range.size")
+def _eval_range_size(ctx, op, args):
+    total = 1
+    for extent in _id_tuple(args[0]):
+        total *= int(extent)
+    return [total]
+
+
+# -- work-item position queries ----------------------------------------------
+
+def _eval_global_id(ctx, op, args):
+    item = _work_item(args[0])
+    return [_at(item.global_id, _dim_of(args), "the global id")]
+
+
+register_evaluator("sycl.item.get_id", _eval_global_id)
+register_evaluator("sycl.nd_item.get_global_id", _eval_global_id)
+register_evaluator("sycl.global_id", _eval_global_id)
+
+
+def _eval_global_linear_id(ctx, op, args):
+    return [_work_item(args[0]).global_linear_id()]
+
+
+register_evaluator("sycl.item.get_linear_id", _eval_global_linear_id)
+register_evaluator("sycl.nd_item.get_global_linear_id",
+                   _eval_global_linear_id)
+
+
+def _eval_local_id(ctx, op, args):
+    item = _require_local(_work_item(args[0]))
+    return [_at(item.local_id, _dim_of(args), "the local id")]
+
+
+register_evaluator("sycl.nd_item.get_local_id", _eval_local_id)
+register_evaluator("sycl.local_id", _eval_local_id)
+
+
+@register_evaluator("sycl.nd_item.get_local_linear_id")
+def _eval_local_linear_id(ctx, op, args):
+    return [_require_local(_work_item(args[0])).local_linear_id()]
+
+
+def _eval_group_id(ctx, op, args):
+    item = _require_local(_work_item(args[0]))
+    return [_at(item.group_id, _dim_of(args), "the group id")]
+
+
+register_evaluator("sycl.nd_item.get_group_id", _eval_group_id)
+register_evaluator("sycl.group.get_group_id", _eval_group_id)
+
+
+def _eval_global_range(ctx, op, args):
+    item = _work_item(args[0])
+    return [_at(item.global_range, _dim_of(args), "the global range")]
+
+
+register_evaluator("sycl.item.get_range", _eval_global_range)
+register_evaluator("sycl.nd_item.get_global_range", _eval_global_range)
+
+
+def _eval_local_range(ctx, op, args):
+    item = _require_local(_work_item(args[0]))
+    return [_at(item.local_range, _dim_of(args), "the local range")]
+
+
+register_evaluator("sycl.nd_item.get_local_range", _eval_local_range)
+register_evaluator("sycl.group.get_local_range", _eval_local_range)
+
+
+def _eval_group_range(ctx, op, args):
+    item = _require_local(_work_item(args[0]))
+    return [_at(item.group_range, _dim_of(args), "the group range")]
+
+
+register_evaluator("sycl.nd_item.get_group_range", _eval_group_range)
+register_evaluator("sycl.group.get_group_range", _eval_group_range)
+
+
+@register_evaluator("sycl.nd_item.get_group")
+def _eval_get_group(ctx, op, args):
+    # The work-item binding doubles as the group handle: group queries
+    # read the same position fields.
+    return [_require_local(_work_item(args[0]))]
+
+
+# -- accessor operations ------------------------------------------------------
+
+@register_evaluator("sycl.accessor.subscript")
+def _eval_subscript(ctx, op, args):
+    binding = _accessor_binding(args[0])
+    indices = _id_tuple(args[1])
+    return [MemRefView(binding.storage, binding.linear_offset(indices))]
+
+
+@register_evaluator("sycl.accessor.get_pointer")
+def _eval_get_pointer(ctx, op, args):
+    # Based at the accessor's (linearized) offset so lowered IR —
+    # get_pointer + row-major index arithmetic — addresses the same
+    # elements subscript does, ranged accessors included.
+    binding = _accessor_binding(args[0])
+    return [MemRefView(binding.storage, binding.base_linear_offset())]
+
+
+@register_evaluator("sycl.accessor.get_range")
+def _eval_accessor_range(ctx, op, args):
+    return [_at(_accessor_binding(args[0]).access_range, _dim_of(args),
+                "the accessor range")]
+
+
+@register_evaluator("sycl.accessor.get_mem_range")
+def _eval_accessor_mem_range(ctx, op, args):
+    return [_at(_accessor_binding(args[0]).mem_range, _dim_of(args),
+                "the accessor mem range")]
+
+
+@register_evaluator("sycl.accessor.get_offset")
+def _eval_accessor_offset(ctx, op, args):
+    return [_at(_accessor_binding(args[0]).offset, _dim_of(args),
+                "the accessor offset")]
+
+
+@register_evaluator("sycl.accessor.size")
+def _eval_accessor_size(ctx, op, args):
+    total = 1
+    for extent in _accessor_binding(args[0]).access_range:
+        total *= extent
+    return [total]
+
+
+@register_evaluator("sycl.group_barrier")
+def _eval_group_barrier(ctx, op, args):
+    if ctx.group is None:
+        raise TrapError(
+            "sycl.group_barrier outside work-group execution (launch the "
+            "kernel with a local range)")
+    ctx.counters.barriers += 1
+    yield BARRIER
+    return []
+
+
+def _eval_host_op(ctx, op, args):
+    raise TrapError(
+        f"host-side operation '{op.name}' is not executable by the device "
+        "interpreter (drive the host program through the runtime instead)")
+
+
+register_evaluator("sycl.host.constructor", _eval_host_op)
+register_evaluator("sycl.host.schedule_kernel", _eval_host_op)
+register_evaluator("sycl.host.submit", _eval_host_op)
+
+
 class SYCLDialect(Dialect):
     """Dialect descriptor; also exposes the SYCL alias-analysis hooks."""
 

@@ -37,6 +37,7 @@ from ..ir import (
     UnitAttr,
     Value,
     f32,
+    i1,
     i32,
     index,
     is_float,
@@ -188,6 +189,41 @@ class Expr:
 
     def ne(self, other):
         return self._compare(other, "one", "ne")
+
+    # -- boolean combinators and selection (boundary guards) -------------------
+    def _boolean(self, other, op_class) -> "Expr":
+        rhs = other if isinstance(other, Expr) \
+            else self.kb.constant(bool(other), i1())
+        op = self.kb._insert(op_class.build(self.value, rhs.value))
+        return self._wrap(op.result)
+
+    def __and__(self, other):
+        """Combine ``i1`` conditions: ``(i < n) & (j < n)``."""
+        return self._boolean(other, arith.AndIOp)
+
+    def __or__(self, other):
+        return self._boolean(other, arith.OrIOp)
+
+    def __invert__(self):
+        return self._boolean(True, arith.XOrIOp)
+
+    def select(self, if_true: Union["Expr", Number],
+               if_false: Union["Expr", Number]) -> "Expr":
+        """``arith.select`` on this ``i1`` condition.
+
+        Literal branch values are typed after the other (Expr) branch, so
+        integer selects like ``guard.select(value, 0)`` stay
+        type-correct.
+        """
+        if not isinstance(if_true, Expr) and isinstance(if_false, Expr):
+            if_true = self.kb.constant(if_true, if_false.type)
+        elif not isinstance(if_true, Expr):
+            if_true = self.kb.constant(if_true)
+        if not isinstance(if_false, Expr):
+            if_false = self.kb.constant(if_false, if_true.type)
+        op = self.kb._insert(arith.SelectOp.build(self.value, if_true.value,
+                                                  if_false.value))
+        return self._wrap(op.result)
 
     # -- conversions -----------------------------------------------------------
     def to_float(self, type_: Optional[Type] = None) -> "Expr":
@@ -419,13 +455,7 @@ class KernelBuilder:
 
     def select(self, condition: Expr, if_true: Union[Expr, Number],
                if_false: Union[Expr, Number]) -> Expr:
-        if not isinstance(if_true, Expr):
-            if_true = self.constant(if_true)
-        if not isinstance(if_false, Expr):
-            if_false = self.constant(if_false, if_true.type)
-        op = self._insert(arith.SelectOp.build(condition.value, if_true.value,
-                                               if_false.value))
-        return Expr(self, op.result)
+        return condition.select(if_true, if_false)
 
     def minimum(self, a: Expr, b: Union[Expr, Number]) -> Expr:
         if not isinstance(b, Expr):

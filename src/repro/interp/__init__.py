@@ -1,0 +1,79 @@
+"""IR interpreter & differential-execution subsystem.
+
+Layers:
+
+* :mod:`repro.interp.registry` — the per-dialect evaluator registry
+  (``@register_evaluator("arith.addi")``, mirroring ``@register_pass``);
+* :mod:`repro.interp.memory` — the memory model (``MemRefStorage``,
+  accessor bindings wired to :mod:`repro.runtime`, control signals);
+* :mod:`repro.interp.interpreter` — the region-based interpreter with
+  barrier-aware ND-range kernel launches;
+* :mod:`repro.interp.differential` — the pre- vs post-pipeline
+  differential execution harness (``optimized != miscompiled``).
+
+The heavy modules are imported lazily (PEP 562): dialect modules import
+``repro.interp.registry``/``repro.interp.memory`` at definition time to
+register their evaluators, and the interpreter in turn imports the
+dialects — laziness here is what keeps that dependency loop acyclic at
+import time.
+"""
+
+from .memory import (
+    BARRIER,
+    AccessorBinding,
+    BlockResult,
+    ExecutionCounters,
+    GroupContext,
+    InterpreterError,
+    MemRefStorage,
+    MemRefView,
+    TrapError,
+    WorkItemBinding,
+    byte_size_of,
+)
+from .registry import (
+    EvaluatorRegistrationError,
+    lookup_evaluator,
+    register_evaluator,
+    registered_evaluators,
+)
+
+#: Lazily resolved attributes -> (module, attribute).
+_LAZY = {
+    "EvalContext": ("interpreter", "EvalContext"),
+    "Interpreter": ("interpreter", "Interpreter"),
+    "LaunchResult": ("interpreter", "LaunchResult"),
+    "DifferentialError": ("differential", "DifferentialError"),
+    "DifferentialReport": ("differential", "DifferentialReport"),
+    "ExecutionSpec": ("differential", "ExecutionSpec"),
+    "FunctionExecution": ("differential", "FunctionExecution"),
+    "execute_module": ("differential", "execute_module"),
+    "run_differential": ("differential", "run_differential"),
+    "synthesize_spec": ("differential", "synthesize_spec"),
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.interp' has no attribute {name!r}")
+    module_name, attribute = target
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "BARRIER", "AccessorBinding", "BlockResult", "ExecutionCounters",
+    "GroupContext", "InterpreterError", "MemRefStorage", "MemRefView",
+    "TrapError", "WorkItemBinding", "byte_size_of",
+    "EvaluatorRegistrationError", "lookup_evaluator", "register_evaluator",
+    "registered_evaluators",
+    "EvalContext", "Interpreter", "LaunchResult",
+    "DifferentialError", "DifferentialReport", "ExecutionSpec",
+    "FunctionExecution", "execute_module", "run_differential",
+    "synthesize_spec",
+]

@@ -1,0 +1,77 @@
+"""The per-dialect evaluator registry of the IR interpreter.
+
+Dialects own their execution semantics the same way they own their pass
+logic: each dialect module registers an *evaluator* per operation name
+with the :func:`register_evaluator` decorator (mirroring
+``@register_pass`` in :mod:`repro.transforms.pass_manager`)::
+
+    @register_evaluator("arith.addi")
+    def _eval_addi(ctx, op, args):
+        return [args[0] + args[1]]
+
+An evaluator receives the active :class:`repro.interp.interpreter.EvalContext`
+(``ctx``), the operation and the already-evaluated operand values, and
+returns a sequence with one Python value per op result (or ``None`` /
+``()`` for ops without results).
+
+Two special shapes participate in control flow:
+
+* evaluators of region-carrying ops (``scf.for``, ``scf.if``,
+  ``func.call``...) are *generator functions* that delegate to
+  ``yield from ctx.exec_block(...)`` so that work-group barriers deep
+  inside nested regions can suspend the whole work-item;
+* terminator evaluators return a
+  :class:`repro.interp.memory.BlockResult` instead of result values,
+  which stops the enclosing block.
+
+Operations may alternatively implement
+:class:`repro.ir.InterpretableOpInterface`; the registry is consulted
+first, the interface is the fallback.  This module deliberately imports
+nothing from ``repro.dialects`` so dialect modules can import it at
+definition time without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+#: ``(ctx, op, args) -> results`` — see the module docstring.
+Evaluator = Callable
+
+_EVALUATOR_REGISTRY: Dict[str, Evaluator] = {}
+
+
+class EvaluatorRegistrationError(Exception):
+    """Raised when two evaluators claim the same operation name."""
+
+
+def register_evaluator(op_name: str,
+                       evaluator: Optional[Evaluator] = None):
+    """Register ``evaluator`` for operation ``op_name``.
+
+    Usable as a decorator (``@register_evaluator("arith.addi")``) or as a
+    plain call (``register_evaluator("arith.addi", fn)``) when one
+    function serves several operation names.
+    """
+
+    def attach(fn: Evaluator) -> Evaluator:
+        existing = _EVALUATOR_REGISTRY.get(op_name)
+        if existing is not None and existing is not fn:
+            raise EvaluatorRegistrationError(
+                f"evaluator for {op_name!r} registered twice")
+        _EVALUATOR_REGISTRY[op_name] = fn
+        return fn
+
+    if evaluator is not None:
+        return attach(evaluator)
+    return attach
+
+
+def lookup_evaluator(op_name: str) -> Optional[Evaluator]:
+    """The evaluator registered for ``op_name``, or None."""
+    return _EVALUATOR_REGISTRY.get(op_name)
+
+
+def registered_evaluators() -> Dict[str, Evaluator]:
+    """Snapshot of the registry (op name -> evaluator)."""
+    return dict(_EVALUATOR_REGISTRY)

@@ -41,6 +41,7 @@ from .interfaces import (
     BranchOpInterface,
     CallOpInterface,
     EffectKind,
+    InterpretableOpInterface,
     LoopLikeInterface,
     MemoryEffect,
     MemoryEffectsInterface,
@@ -105,7 +106,8 @@ __all__ = [
     "Context", "Dialect", "default_context",
     "DominanceInfo", "properly_dominates",
     "fingerprint", "function_fingerprint", "module_fingerprint",
-    "BranchOpInterface", "CallOpInterface", "EffectKind", "LoopLikeInterface",
+    "BranchOpInterface", "CallOpInterface", "EffectKind",
+    "InterpretableOpInterface", "LoopLikeInterface",
     "MemoryEffect", "MemoryEffectsInterface", "get_memory_effects",
     "is_side_effect_free",
     "Block", "IRError", "Operation", "Region", "lookup_op_class",

@@ -107,6 +107,27 @@ class LoopLikeInterface:
         return True
 
 
+class InterpretableOpInterface:
+    """Mixin for operations that carry their own execution semantics.
+
+    The IR interpreter (:mod:`repro.interp`) first consults the
+    per-dialect evaluator registry
+    (:func:`repro.interp.registry.register_evaluator`); operations not
+    found there but implementing this interface are evaluated through
+    :meth:`interpret`.  ``args`` holds the already-evaluated operand
+    values and ``ctx`` is the active
+    :class:`repro.interp.interpreter.EvalContext`; the method returns one
+    Python value per op result.
+    """
+
+    def interpret(self, args: Sequence[object], ctx) -> Sequence[object]:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def implements_interpret(cls) -> bool:
+        return True
+
+
 class CallOpInterface:
     """Mixin for call-like operations."""
 

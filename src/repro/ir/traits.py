@@ -42,6 +42,12 @@ class Trait(enum.Enum):
     LOOP_LIKE = "loop_like"
     #: The operation is commutative in its operands.
     COMMUTATIVE = "commutative"
+    #: The operation can fail at runtime on some inputs (integer division
+    #: by zero, out-of-range shifts, math domain errors).  Side-effect
+    #: free but NOT speculatable: hoisting one above a guard or out of a
+    #: possibly-zero-trip loop can introduce a trap that the original
+    #: program never executed.
+    MAY_TRAP = "may_trap"
 
 
 # Each trait gets a bit so per-class trait sets collapse into an int mask;

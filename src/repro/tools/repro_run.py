@@ -1,0 +1,327 @@
+"""``repro-run`` — execute textual IR through the interpreter.
+
+The execution sibling of ``repro-opt``: parses a module, optionally runs
+a pass pipeline over it, then *executes* a named entry function through
+:mod:`repro.interp` and prints the results.
+
+* Ordinary functions run once with CLI-provided / synthesized scalar and
+  memref arguments.
+* Kernel functions (taking a ``sycl::item``/``nd_item``) are launched
+  over ``--global-size`` (and ``--local-size`` for work-group semantics)
+  with accessor arguments bound to deterministically filled buffers.
+
+Useful flags::
+
+    repro-run k.mlir --entry gemm --global-size 8x8 --local-size 4x4 \\
+        --buffer A=8x8 --buffer B=8x8 --buffer C=8x8 \\
+        --pipeline sycl-mlir --print-buffers --cost-report
+
+``--arg name=value`` sets scalar arguments by name (block-argument name
+hints; ``argN`` positions work too).  ``--cost-report`` prints a roofline
+estimate of the executed operation/byte counts against a
+:class:`repro.runtime.DeviceSpec` (``--device`` selects the modelled
+GPU), so the analytical device model participates in every run.
+
+See ``docs/interpreter.md`` for the execution model and its caveats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from ..dialects import all_dialects  # noqa: F401 - registers ops and types
+from ..dialects.func import FuncOp
+from ..ir import ParseError, VerificationError, parse_module, verify
+from ..interp.differential import (
+    ExecutionSpec,
+    _executable_functions,
+    execute_function,
+    synthesize_spec,
+)
+from ..interp.memory import InterpreterError, TrapError
+from ..runtime.device import (
+    DeviceSpec,
+    intel_data_center_gpu_max_1100,
+    small_test_device,
+)
+from ..transforms.pipelines import (
+    NAMED_PIPELINES,
+    build_named_pipeline,
+    parse_pass_pipeline,
+)
+from .repro_opt import _read_input
+
+DEVICES = {
+    "max1100": intel_data_center_gpu_max_1100,
+    "small": small_test_device,
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Parse, optionally optimize, then execute textual IR "
+                    "through the IR interpreter.")
+    parser.add_argument(
+        "input", nargs="?", default="-",
+        help="input IR file, or '-' for stdin (default)")
+    parser.add_argument(
+        "--entry", default=None, metavar="NAME",
+        help="function to execute (default: the only executable function)")
+    parser.add_argument(
+        "--list-functions", action="store_true",
+        help="list the module's functions with their signatures and exit")
+    parser.add_argument(
+        "--passes", default=None, metavar="SPEC",
+        help="run a pass pipeline spec before executing")
+    parser.add_argument(
+        "--pipeline", default=None, choices=sorted(NAMED_PIPELINES),
+        help="run a full compiler-model pipeline before executing")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for func.func-anchored pipelines (default 1)")
+    parser.add_argument(
+        "--arg", action="append", default=[], metavar="NAME=VALUE",
+        help="scalar argument value by name (repeatable); unnamed "
+             "arguments are addressable as arg0, arg1, ...")
+    parser.add_argument(
+        "--global-size", default=None, metavar="NxM",
+        help="global iteration space for kernel entries (e.g. 8x8)")
+    parser.add_argument(
+        "--local-size", default=None, metavar="NxM",
+        help="work-group size (enables barriers / local memory)")
+    parser.add_argument(
+        "--buffer", action="append", default=[], metavar="NAME=NxM",
+        help="shape of the buffer backing accessor/memref argument NAME "
+             "(repeatable)")
+    parser.add_argument(
+        "--print-buffers", action="store_true",
+        help="print the final contents of every buffer/memref argument")
+    parser.add_argument(
+        "--cost-report", action="store_true",
+        help="print a roofline estimate of the execution against the "
+             "modelled device (see --device)")
+    parser.add_argument(
+        "--device", default="max1100", choices=sorted(DEVICES),
+        help="device model used by --cost-report (default: max1100)")
+    parser.add_argument(
+        "--max-steps", type=int, default=10_000_000,
+        help="interpreter step budget (default 10M ops)")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip IR verification before executing")
+    parser.add_argument(
+        "--allow-unregistered", action="store_true",
+        help="accept operations not present in the operation registry")
+    return parser
+
+
+def _parse_extents(text: str, what: str) -> Tuple[int, ...]:
+    try:
+        extents = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise ValueError(f"malformed {what} {text!r}; expected e.g. 8x8")
+    if not extents or any(e <= 0 for e in extents):
+        raise ValueError(f"malformed {what} {text!r}; extents must be >= 1")
+    return extents
+
+
+def _parse_scalar(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _split_assignment(text: str, what: str) -> Tuple[str, str]:
+    name, separator, value = text.partition("=")
+    if not separator or not name:
+        raise ValueError(f"malformed {what} {text!r}; expected NAME=VALUE")
+    return name, value
+
+
+def _build_spec(args) -> ExecutionSpec:
+    spec = ExecutionSpec()
+    if args.global_size:
+        spec.global_size = _parse_extents(args.global_size, "--global-size")
+    if args.local_size:
+        spec.local_size = _parse_extents(args.local_size, "--local-size")
+    for assignment in args.buffer:
+        name, value = _split_assignment(assignment, "--buffer")
+        spec.buffers[name] = _parse_extents(value, "--buffer shape")
+    for assignment in args.arg:
+        name, value = _split_assignment(assignment, "--arg")
+        try:
+            spec.scalars[name] = _parse_scalar(value)
+        except ValueError:
+            raise ValueError(f"malformed --arg value {value!r}")
+    return spec
+
+
+def _signature(function: FuncOp) -> str:
+    params = ", ".join(
+        # Unnamed arguments print as argN — the same names --arg/--buffer
+        # accept.
+        f"%{arg.name_hint or f'arg{i}'}: {arg.type}"
+        for i, arg in enumerate(function.arguments))
+    results = ", ".join(str(t) for t in function.function_type.results)
+    kernel = "  [kernel]" if function.is_kernel() else ""
+    return f"@{function.sym_name}({params}) -> ({results}){kernel}"
+
+
+def _format_values(values: List[object], limit: int = 32) -> str:
+    shown = values[:limit]
+    body = ", ".join(
+        f"{v:.6g}" if isinstance(v, float) else str(v) for v in shown)
+    suffix = f", ... ({len(values)} values)" if len(values) > limit else ""
+    return f"[{body}{suffix}]"
+
+
+def _cost_report(counters, spec: DeviceSpec, kernel_launches: int) -> str:
+    """Roofline estimate: executed work against the device's peaks."""
+    ops = counters.ops
+    bytes_moved = counters.bytes_read + counters.bytes_written
+    compute_s = ops / spec.peak_ops_per_second()
+    memory_s = bytes_moved / spec.global_bytes_per_second()
+    launch_s = kernel_launches * spec.launch_overhead_us * 1e-6
+    estimate_s = max(compute_s, memory_s) + launch_s
+    bound = "compute" if compute_s >= memory_s else "memory"
+    lines = [
+        f"cost report (device: {spec.name})",
+        f"  ops executed:        {ops}",
+        f"  loads / stores:      {counters.loads} / {counters.stores}",
+        f"  bytes moved:         {bytes_moved}",
+        f"  barriers:            {counters.barriers}",
+        f"  work items:          {counters.work_items}",
+        f"  peak ops/s:          {spec.peak_ops_per_second():.3e}",
+        f"  peak bytes/s:        {spec.global_bytes_per_second():.3e}",
+        f"  compute time:        {compute_s:.3e} s",
+        f"  memory time:         {memory_s:.3e} s",
+        f"  launch overhead:     {launch_s:.3e} s",
+        f"  roofline estimate:   {estimate_s:.3e} s ({bound}-bound)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.passes and args.pipeline:
+        print("repro-run: --passes and --pipeline are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = _build_spec(args)
+    except ValueError as exc:
+        print(f"repro-run: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        text = _read_input(args.input)
+    except OSError as exc:
+        print(f"repro-run: cannot read input: {exc}", file=sys.stderr)
+        return 1
+    try:
+        module = parse_module(text,
+                              allow_unregistered=args.allow_unregistered)
+    except ParseError as exc:
+        print(f"repro-run: parse error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.pipeline:
+            manager = build_named_pipeline(args.pipeline, jobs=args.jobs)
+        elif args.passes:
+            manager = parse_pass_pipeline(args.passes)
+            manager.jobs = args.jobs
+        else:
+            manager = None
+    except ValueError as exc:
+        print(f"repro-run: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if not args.no_verify:
+            verify(module)
+        if manager is not None:
+            try:
+                manager.run(module)
+            finally:
+                manager.close()
+            if not args.no_verify:
+                verify(module)
+    except VerificationError as exc:
+        print(f"repro-run: verification failed: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # Pass misconfiguration surfaced at run time (same contract as
+        # repro-opt's pipeline stage): usage error.
+        print(f"repro-run: {exc}", file=sys.stderr)
+        return 2
+
+    # Functions are resolved after the pipeline ran, so entries the
+    # pipeline created are selectable and --list-functions reflects the
+    # module that will actually execute.
+    functions = _executable_functions(module)
+    if args.list_functions:
+        for function in functions:
+            print(_signature(function))
+        return 0
+
+    if args.entry:
+        entry = next((f for f in functions if f.sym_name == args.entry),
+                     None)
+        if entry is None:
+            names = ", ".join(f.sym_name for f in functions) or "none"
+            print(f"repro-run: no function named '{args.entry}' "
+                  f"(available: {names})", file=sys.stderr)
+            return 2
+    elif len(functions) == 1:
+        entry = functions[0]
+    else:
+        print("repro-run: --entry is required when the module defines "
+              f"{len(functions)} functions", file=sys.stderr)
+        return 2
+
+    try:
+        resolved = synthesize_spec(entry, spec)
+        execution = execute_function(module, entry, resolved,
+                                     max_steps=args.max_steps)
+    except (InterpreterError, TrapError, ValueError) as exc:
+        # ValueError covers runtime-object validation (e.g. an NDRange
+        # whose local rank mismatches --global-size); the exit-code
+        # contract is 1 for any execution failure.
+        print(f"repro-run: execution failed: {exc}", file=sys.stderr)
+        return 1
+
+    header = f"@{execution.name}"
+    if execution.kind == "kernel":
+        size = "x".join(str(e) for e in resolved.global_size)
+        local = ("x".join(str(e) for e in resolved.local_size)
+                 if resolved.local_size else "none")
+        header += f" launched over {size} (local: {local})"
+    print(header)
+    for index, value in enumerate(execution.results):
+        shown = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"result[{index}] = {shown}")
+    if args.print_buffers:
+        for name, values in execution.memory.items():
+            print(f"{name} = {_format_values(values)}")
+
+    if args.cost_report:
+        from ..interp.memory import ExecutionCounters
+
+        counters = ExecutionCounters(**execution.counters)
+        launches = 1 if execution.kind == "kernel" else 0
+        print(_cost_report(counters, DEVICES[args.device](), launches),
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

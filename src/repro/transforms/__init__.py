@@ -49,6 +49,7 @@ from .pipelines import (
     dump_pass_pipeline,
     parse_pass_pipeline,
     resolve_pass_name,
+    shipped_pipeline_names,
     sycl_mlir_pipeline,
 )
 from .rewrite import (

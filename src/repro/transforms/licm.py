@@ -27,8 +27,10 @@ from typing import List, Optional
 from ..ir import (
     EffectKind,
     Operation,
+    Trait,
     Value,
     get_memory_effects,
+    has_trait,
     is_side_effect_free,
 )
 from ..dialects import affine as affine_dialect
@@ -145,6 +147,11 @@ class LoopInvariantCodeMotion(FunctionPass):
                 if not self._operands_defined_outside(op, loop):
                     continue
                 if is_side_effect_free(op):
+                    # Pure but possibly-trapping ops (integer division,
+                    # shifts, math domain errors) must not be speculated
+                    # above a loop that may execute zero times.
+                    if may_not_execute and has_trait(op, Trait.MAY_TRAP):
+                        continue
                     self._hoist(op, loop)
                     hoisted_total += 1
                     changed = True

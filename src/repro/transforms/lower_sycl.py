@@ -98,9 +98,21 @@ class LowerAccessorSubscripts(FunctionPass):
         pointer = pointers.get(id(accessor))
         if pointer is None:
             pointer_op = SYCLAccessorGetPointerOp.build(accessor)
-            # Place the get_pointer right before the first use to keep
-            # dominance simple; later CSE/LICM may move it.
-            block.insert_before(insert_before, pointer_op)
+            # The pointer is shared by every subscript of the accessor, so
+            # it must dominate all of them: materialize it where the
+            # accessor itself is defined (right after its defining op, or
+            # at the top of the entry block for function arguments) — not
+            # at the first subscript, which may sit inside a branch that
+            # does not dominate later subscripts.
+            defining = accessor.defining_op()
+            if defining is not None and defining.parent is not None:
+                defining.parent.insert_after(defining, pointer_op)
+            else:
+                entry = accessor.owner_block() or block
+                if entry.first_op is not None:
+                    entry.insert_before(entry.first_op, pointer_op)
+                else:
+                    entry.append(pointer_op)
             pointer = pointer_op.results[0]
             pointers[id(accessor)] = pointer
 

@@ -538,6 +538,17 @@ NAMED_PIPELINES: Dict[str, Callable[..., PassManager]] = {
 }
 
 
+def shipped_pipeline_names() -> List[str]:
+    """Names of the shipped compiler-model pipelines.
+
+    This is the set the differential-execution harness
+    (:mod:`repro.interp.differential`) must prove semantics-preserving
+    for every executable module — tests and the CI differential smoke
+    job iterate it rather than hard-coding pipeline names.
+    """
+    return sorted(NAMED_PIPELINES)
+
+
 def build_named_pipeline(
         name: str,
         options: Optional[OptimizationOptions] = None,

@@ -3,6 +3,11 @@
 import pathlib
 import sys
 
-_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+_SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+# The repo root, so tests (and tests/helpers.py) can import the
+# benchmarks package without per-module sys.path edits.
+if str(_ROOT) not in sys.path:
+    sys.path.insert(1, str(_ROOT))

@@ -135,3 +135,42 @@ def wrap_in_module(*functions):
     for function in functions:
         module.append(function)
     return module
+
+
+# ---------------------------------------------------------------------------
+# Shared interpreter test kernels.  The builders live in
+# benchmarks/kernels.py (tests already depend on the benchmarks package,
+# never the reverse) so the BENCH_5 scenarios, these tests and the CI
+# differential-smoke job all execute the same kernels.
+# ---------------------------------------------------------------------------
+
+def build_vecadd_source():
+    """``c[i] = a[i] + b[i]`` over a 1-D range (KernelSource)."""
+    from benchmarks.kernels import build_vecadd_source as build
+
+    return build()
+
+
+def build_gemm_module(size=8, work_group=4):
+    """An nd_item GEMM whose ``sycl.work_group_size`` attribute makes
+    Loop Internalization fire; returns ``(module, {"gemm": spec})``."""
+    from benchmarks.kernels import build_gemm_module as build
+
+    return build(size, work_group)
+
+
+def listing_execution_specs():
+    """Launch configurations for the paper listing kernels.
+
+    Listing 3's access index reaches ``[gid+1, 2i, 2i+2+gid]`` with
+    ``i < 64``, so its buffer must extend past 128 in the loop
+    dimensions.
+    """
+    from repro.interp import ExecutionSpec
+
+    return {
+        "non_uniform": ExecutionSpec(global_size=(4, 4),
+                                     scalars={"idx": 3}),
+        "mem_acc": ExecutionSpec(global_size=(2, 2),
+                                 buffers={"acc": (3, 128, 130)}),
+    }

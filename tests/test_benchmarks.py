@@ -134,6 +134,62 @@ class TestCompareGate:
         assert self._run_main(tmp_path, {"records": []},
                               {"records": []}) == 2
 
+    def test_flatten_tracks_interp_scenarios(self):
+        payload = self._payload()
+        payload["interp"] = {"records": [
+            {"name": "vecadd-exec", "seconds": 0.02, "ops": 1000},
+            {"name": "differential-gemm", "seconds": 0.05},
+        ]}
+        scenarios = bench_compare.flatten_scenarios(payload)
+        assert scenarios["interp/vecadd-exec"] == 0.02
+        assert scenarios["interp/differential-gemm"] == 0.05
+
+    def test_baseline_missing_candidate_scenario_is_a_clear_error(
+            self, tmp_path, capsys):
+        # A fresh run that gained a scenario family (e.g. --interp) must
+        # not be silently half-gated against a stale baseline.
+        candidate = self._payload()
+        candidate["interp"] = {"records": [
+            {"name": "vecadd-exec", "seconds": 0.02}]}
+        rc = self._run_main(tmp_path, self._payload(), candidate)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "interp/vecadd-exec" in err
+        assert "regenerate the baseline" in err
+
+    def test_allow_new_scenarios_downgrades_to_note(self, tmp_path, capsys):
+        candidate = self._payload()
+        candidate["interp"] = {"records": [
+            {"name": "vecadd-exec", "seconds": 0.02}]}
+        rc = self._run_main(tmp_path, self._payload(), candidate,
+                            "--allow-new-scenarios")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "note" in out and "interp/vecadd-exec" in out
+
+    def test_unproduced_baseline_scenarios_are_noted(self, tmp_path,
+                                                     capsys):
+        # Baseline scenarios the candidate run didn't produce stay
+        # ungated (partial re-runs are legitimate) but must be visible.
+        baseline = self._payload()
+        baseline["interp"] = {"records": [
+            {"name": "vecadd-exec", "seconds": 0.02}]}
+        rc = self._run_main(tmp_path, baseline, self._payload())
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "did not produce" in out and "interp/vecadd-exec" in out
+
+    def test_interp_smoke_run_emits_records(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert runner_main(["--smoke", "--interp", "--sizes", "60",
+                            "--out", str(out)]) == 0
+        records = json.loads(out.read_text())["interp"]["records"]
+        names = {record["name"] for record in records}
+        assert {"vecadd-exec", "gemm-exec", "differential-gemm"} <= names
+        by_name = {record["name"]: record for record in records}
+        assert by_name["vecadd-exec"]["ops"] > 0
+        assert by_name["vecadd-exec"]["ops_per_second"] > 0
+
     def test_normalize_cancels_uniform_machine_drift(self, tmp_path):
         # A uniformly 1.5x-slower machine passes under --normalize ...
         rc = self._run_main(tmp_path, self._payload(),

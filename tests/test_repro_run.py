@@ -1,0 +1,177 @@
+"""Tests for the ``repro-run`` driver (parse -> optimize -> execute)."""
+
+import pytest
+
+from repro.dialects import builtin
+from repro.ir import Printer, index
+from repro.tools.repro_run import main as repro_run
+
+from .helpers import build_gemm_module
+
+
+@pytest.fixture
+def scalar_module_path(tmp_path):
+    # @sum_to(%n: index) -> index, plus a second function so --entry is
+    # required.
+    from repro.dialects import arith, func, scf
+    from repro.ir import Builder, InsertionPoint
+
+    module = builtin.ModuleOp.build("m")
+    f = func.FuncOp.build("sum_to", [index()], [index()],
+                          arg_names=["n"])
+    b = Builder(InsertionPoint.at_end(f.body))
+    c0 = b.insert(arith.ConstantOp.build(0, index()))
+    c1 = b.insert(arith.ConstantOp.build(1, index()))
+    loop = b.insert(scf.ForOp.build(c0.result, f.arguments[0], c1.result,
+                                    [c0.result]))
+    lb = Builder(InsertionPoint.at_end(loop.body))
+    add = lb.insert(arith.AddIOp.build(loop.region_iter_args[0],
+                                       loop.induction_variable()))
+    lb.insert(scf.YieldOp.build([add.result]))
+    b.insert(func.ReturnOp.build([loop.results[0]]))
+    module.append(f)
+    g = func.FuncOp.build("other", [], [])
+    Builder(InsertionPoint.at_end(g.body)).insert(func.ReturnOp.build())
+    module.append(g)
+    path = tmp_path / "scalars.mlir"
+    path.write_text(Printer().print_module(module) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def kernel_module_path(tmp_path):
+    module, _ = build_gemm_module(size=4, work_group=2)
+    path = tmp_path / "gemm.mlir"
+    path.write_text(Printer().print_module(module) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+class TestScalarExecution:
+    def test_entry_with_named_arg(self, scalar_module_path, capsys):
+        rc = repro_run([str(scalar_module_path), "--entry", "sum_to",
+                        "--arg", "n=10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "@sum_to" in out
+        assert "result[0] = 45" in out
+
+    def test_entry_required_with_two_functions(self, scalar_module_path,
+                                               capsys):
+        assert repro_run([str(scalar_module_path)]) == 2
+        assert "--entry is required" in capsys.readouterr().err
+
+    def test_unknown_entry_lists_candidates(self, scalar_module_path,
+                                            capsys):
+        assert repro_run([str(scalar_module_path), "--entry", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "sum_to" in err and "other" in err
+
+    def test_list_functions(self, scalar_module_path, capsys):
+        assert repro_run([str(scalar_module_path),
+                          "--list-functions"]) == 0
+        out = capsys.readouterr().out
+        assert "@sum_to(%n: index) -> (index)" in out
+        assert "@other" in out
+
+    def test_buffer_shape_for_scalar_argument_is_rejected(
+            self, scalar_module_path, capsys):
+        rc = repro_run([str(scalar_module_path), "--entry", "sum_to",
+                        "--buffer", "n=2x2"])
+        assert rc == 1
+        assert "use a scalar value" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mlir"
+        bad.write_text("not ir", encoding="utf-8")
+        assert repro_run([str(bad)]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_conflicting_pipeline_flags(self, scalar_module_path, capsys):
+        rc = repro_run([str(scalar_module_path), "--entry", "sum_to",
+                        "--passes", "cse", "--pipeline", "sycl-mlir"])
+        assert rc == 2
+
+
+class TestKernelExecution:
+    ARGS = ["--entry", "gemm", "--global-size", "4x4",
+            "--local-size", "2x2", "--buffer", "A=4x4",
+            "--buffer", "B=4x4", "--buffer", "C=4x4"]
+
+    def test_launch_and_print_buffers(self, kernel_module_path, capsys):
+        rc = repro_run([str(kernel_module_path), *self.ARGS,
+                        "--print-buffers"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "@gemm launched over 4x4 (local: 2x2)" in out
+        assert "C = [" in out
+
+    def test_pipeline_then_execute(self, kernel_module_path, capsys):
+        rc = repro_run([str(kernel_module_path), *self.ARGS,
+                        "--pipeline", "sycl-mlir", "--print-buffers"])
+        assert rc == 0
+        assert "C = [" in capsys.readouterr().out
+
+    def test_cost_report_uses_device_model(self, kernel_module_path,
+                                           capsys):
+        rc = repro_run([str(kernel_module_path), *self.ARGS,
+                        "--cost-report", "--device", "small"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "cost report (device: Unit-test GPU)" in err
+        assert "roofline estimate" in err
+        assert "-bound" in err
+
+    def test_identical_results_with_and_without_pipeline(
+            self, kernel_module_path, capsys):
+        # repro-run's synthesized inputs are deterministic, so the
+        # optimized and unoptimized executions must print identical
+        # buffer contents — the CLI face of the differential harness.
+        assert repro_run([str(kernel_module_path), *self.ARGS,
+                          "--print-buffers"]) == 0
+        plain = capsys.readouterr().out
+        assert repro_run([str(kernel_module_path), *self.ARGS,
+                          "--pipeline", "sycl-mlir",
+                          "--print-buffers"]) == 0
+        optimized = capsys.readouterr().out
+        assert plain == optimized
+
+    def test_malformed_size_is_usage_error(self, kernel_module_path,
+                                           capsys):
+        rc = repro_run([str(kernel_module_path), "--entry", "gemm",
+                        "--global-size", "4xtwo"])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_misspelled_buffer_name_is_rejected(self, kernel_module_path,
+                                                capsys):
+        # A typo'd name must not silently fall back to synthesized data.
+        rc = repro_run([str(kernel_module_path), "--entry", "gemm",
+                        "--global-size", "4x4", "--local-size", "2x2",
+                        "--buffer", "a=4x4"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unknown argument" in err
+        assert "A, B, C" in err  # lists the real argument names
+
+    def test_scalar_arg_for_memory_argument_is_rejected(
+            self, kernel_module_path, capsys):
+        rc = repro_run([str(kernel_module_path), "--entry", "gemm",
+                        "--global-size", "4x4", "--local-size", "2x2",
+                        "--arg", "A=3"])
+        assert rc == 1
+        assert "buffer shape" in capsys.readouterr().err
+
+    def test_rank_mismatched_local_size_exits_one(self, kernel_module_path,
+                                                  capsys):
+        rc = repro_run([str(kernel_module_path), "--entry", "gemm",
+                        "--global-size", "4x4", "--local-size", "2"])
+        assert rc == 1
+        assert "execution failed" in capsys.readouterr().err
+
+    def test_step_budget_flag(self, kernel_module_path, capsys):
+        rc = repro_run([str(kernel_module_path), *self.ARGS,
+                        "--max-steps", "10"])
+        assert rc == 1
+        assert "step budget" in capsys.readouterr().err
