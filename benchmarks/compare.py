@@ -6,7 +6,10 @@ Tracked scenarios are flattened to ``name -> seconds``:
 * per-size phase timings: ``"<num_ops>ops/<phase>"`` (print, parse, the
   pass combinations, the full pipeline);
 * the parallel scenario: ``"parallel/jobs=<N>"``;
-* the cache scenario: ``"cache/cold"`` and ``"cache/warm"``.
+* the cache scenario: ``"cache/cold"`` and ``"cache/warm"``;
+* the interpreter scenarios: ``"interp/<name>"``;
+* the static-analysis scenarios: ``"lint/listing-sweep"`` (cold) and
+  ``"lint/listing-sweep-warm"`` (analysis-manager hits).
 
 A scenario regresses when ``candidate > baseline * (1 + threshold)``.
 Timings below ``--min-seconds`` in the *baseline* are skipped — at
@@ -63,6 +66,13 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
         seconds = record.get("seconds")
         if name is not None and seconds is not None:
             scenarios[f"interp/{name}"] = seconds
+    static = results.get("static", {})
+    for record in static.get("records", ()):
+        # Names already carry their family prefix ("lint/listing-sweep").
+        name = record.get("name")
+        seconds = record.get("seconds")
+        if name is not None and seconds is not None:
+            scenarios[name] = seconds
     return scenarios
 
 

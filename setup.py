@@ -16,6 +16,7 @@ setup(
         "console_scripts": [
             "repro-opt = repro.tools.repro_opt:main",
             "repro-run = repro.tools.repro_run:main",
+            "repro-lint = repro.tools.repro_lint:main",
         ],
     },
 )

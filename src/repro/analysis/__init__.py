@@ -2,7 +2,21 @@
 
 from .alias import AliasAnalysis, AliasResult, underlying_object
 from .callgraph import CallGraph, CallGraphNode, CallSite
-from .dataflow import StructuredDataFlowAnalysis
+from .dataflow import NonConvergenceWarning, StructuredDataFlowAnalysis
+from .lint import (
+    LINT_RULES,
+    LintContext,
+    describe_lint_rules,
+    register_lint_rule,
+    run_lint,
+)
+from .manager import (
+    ALL_ANALYSES,
+    AnalysisManager,
+    analysis_scope,
+    current_analysis_manager,
+    get_analysis,
+)
 from .memory_access import (
     BasisKind,
     BasisVariable,
@@ -17,7 +31,11 @@ from .uniformity import Uniformity, UniformityAnalysis
 __all__ = [
     "AliasAnalysis", "AliasResult", "underlying_object",
     "CallGraph", "CallGraphNode", "CallSite",
-    "StructuredDataFlowAnalysis",
+    "NonConvergenceWarning", "StructuredDataFlowAnalysis",
+    "LINT_RULES", "LintContext", "describe_lint_rules",
+    "register_lint_rule", "run_lint",
+    "ALL_ANALYSES", "AnalysisManager", "analysis_scope",
+    "current_analysis_manager", "get_analysis",
     "BasisKind", "BasisVariable", "MemoryAccess", "MemoryAccessAnalysis",
     "NonAffineAccessError",
     "ReachingDefinitionAnalysis", "ReachingDefs",

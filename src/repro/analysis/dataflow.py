@@ -10,16 +10,26 @@ handles straight-line code, conditionals and loop fixpoints uniformly.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Generic, Optional, TypeVar
 
-from ..ir import Operation
+from ..ir import DiagnosticEngine, Operation, location_of
 from ..dialects import affine as affine_dialect
 from ..dialects import scf as scf_dialect
 
 StateT = TypeVar("StateT")
 
-#: Maximum number of iterations used to stabilize loop bodies.
-LOOP_FIXPOINT_LIMIT = 4
+#: Safety bound on loop-body fixpoint iteration.  Loop bodies iterate to a
+#: *real* fixpoint (change detection stops the loop); this cap only guards
+#: against analyses whose join is not monotonic.  Hitting it is reported as
+#: a :class:`NonConvergenceWarning` — the old silent ``4`` could stop while
+#: the state was still changing, making downstream facts unsound.
+LOOP_FIXPOINT_LIMIT = 64
+
+
+class NonConvergenceWarning(UserWarning):
+    """A loop-body fixpoint hit :data:`LOOP_FIXPOINT_LIMIT` while still
+    changing; facts derived below that loop may be unsound."""
 
 
 class AbstractState:
@@ -56,6 +66,11 @@ class StructuredDataFlowAnalysis(Generic[StateT]):
 
     def __init__(self):
         self._before: Dict[int, StateT] = {}
+        #: Optional sink for non-convergence diagnostics; falls back to
+        #: ``warnings.warn(NonConvergenceWarning)`` when unset.
+        self.diagnostics_engine: Optional[DiagnosticEngine] = None
+        #: False once any loop fixpoint hit the iteration cap.
+        self.converged = True
 
     # -- to be provided by subclasses ------------------------------------
     def initial_state(self, function: Operation) -> StateT:  # pragma: no cover
@@ -76,6 +91,17 @@ class StructuredDataFlowAnalysis(Generic[StateT]):
         return self._before.get(id(op))
 
     # -- internals ----------------------------------------------------------
+    def _report_non_convergence(self, loop: Operation) -> None:
+        self.converged = False
+        message = (
+            f"data-flow fixpoint for '{loop.name}' did not converge within "
+            f"{LOOP_FIXPOINT_LIMIT} iterations; facts below this loop are "
+            f"conservative")
+        if self.diagnostics_engine is not None:
+            self.diagnostics_engine.warning(message, location_of(loop))
+        else:
+            warnings.warn(message, NonConvergenceWarning, stacklevel=3)
+
     def _record(self, op: Operation, state: StateT) -> None:
         self._before[id(op)] = state.copy()
 
@@ -99,6 +125,7 @@ class StructuredDataFlowAnalysis(Generic[StateT]):
         if isinstance(op, (scf_dialect.ForOp, affine_dialect.AffineForOp,
                            scf_dialect.WhileOp, scf_dialect.ParallelOp)):
             before_loop = state.copy()
+            changed = True
             for _ in range(LOOP_FIXPOINT_LIMIT):
                 iteration_state = state.copy()
                 for region in op.regions:
@@ -107,6 +134,8 @@ class StructuredDataFlowAnalysis(Generic[StateT]):
                 changed = state.join(iteration_state)
                 if not changed:
                     break
+            if changed:
+                self._report_non_convergence(op)
             state.join(before_loop)
             return
 

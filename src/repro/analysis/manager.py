@@ -1,0 +1,242 @@
+"""MLIR-shaped analysis manager: cached, invalidation-aware analyses.
+
+Passes request analyses by class —
+
+::
+
+    dominance = am.get(DominanceInfo, function)
+    uniformity = am.get(UniformityAnalysis, module)
+
+— and the manager constructs, caches and invalidates them:
+
+* results are cached per ``(analysis class, anchor op)`` and tagged with
+  the anchor's structural fingerprint at construction time; a lookup whose
+  fingerprint no longer matches is a miss (the safety net under passes
+  that mutate without declaring it);
+* after a pass runs on an anchor, :meth:`invalidate` evicts every cached
+  analysis whose anchor is that op, one of its ancestors or one of its
+  descendants — *except* the classes the pass declares in
+  ``Pass.preserves()`` (MLIR's ``markAnalysesPreserved``);
+* hit/miss/invalidation counts are kept per manager and aggregate across
+  the per-worker child managers the ``jobs=N`` scheduler spawns
+  (:meth:`child` / :meth:`absorb`).
+
+The *current* manager is tracked per thread
+(:func:`current_analysis_manager` / :func:`analysis_scope`) rather than
+stored on pass instances: the parallel scheduler runs one pass instance
+concurrently across functions, so instance state would race.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+from ..ir import Operation
+from ..ir.fingerprint import fingerprint
+
+#: Sentinel for ``Pass.preserves()``: every cached analysis survives.
+ALL_ANALYSES = object()
+
+
+class _Entry:
+    """One cached analysis result, pinned to its anchor op."""
+
+    __slots__ = ("analysis", "anchor", "fingerprint")
+
+    def __init__(self, analysis: Any, anchor: Operation, digest: str):
+        self.analysis = analysis
+        self.anchor = anchor
+        self.fingerprint = digest
+
+
+def _construct(analysis_cls: Type, anchor: Operation) -> Any:
+    """Instantiate ``analysis_cls`` for ``anchor``.
+
+    Analyses follow the single-argument convention (``DominanceInfo(op)``);
+    classes whose constructor takes no required parameters (e.g.
+    ``SYCLAliasAnalysis``) are built without the anchor.
+    """
+    try:
+        signature = inspect.signature(analysis_cls)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return analysis_cls(anchor)
+    positional = [
+        p for p in signature.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if positional:
+        return analysis_cls(anchor)
+    return analysis_cls()
+
+
+class AnalysisManager:
+    """Constructs, caches and invalidates analyses for pass pipelines."""
+
+    def __init__(self):
+        self._entries: Dict[Tuple[Type, int], _Entry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: Analysis class names a compile-cache hit reported still valid.
+        self.carried: List[str] = []
+
+    # -- queries -----------------------------------------------------------
+    def get(self, analysis_cls: Type, anchor: Operation) -> Any:
+        """The (cached) ``analysis_cls`` result anchored at ``anchor``."""
+        key = (analysis_cls, id(anchor))
+        digest = fingerprint(anchor)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.anchor is anchor \
+                    and entry.fingerprint == digest:
+                self.hits += 1
+                return entry.analysis
+            self.misses += 1
+        analysis = _construct(analysis_cls, anchor)
+        with self._lock:
+            self._entries[key] = _Entry(analysis, anchor, digest)
+        return analysis
+
+    def get_cached(self, analysis_cls: Type,
+                   anchor: Operation) -> Optional[Any]:
+        """The cached result if present and fresh; never constructs."""
+        key = (analysis_cls, id(anchor))
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or entry.anchor is not anchor:
+            return None
+        if entry.fingerprint != fingerprint(anchor):
+            return None
+        return entry.analysis
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate(self, anchor: Operation, preserved=()) -> int:
+        """Evict analyses made stale by a pass that ran on ``anchor``.
+
+        Evicts entries anchored at ``anchor``, at any of its ancestors
+        (their whole-tree view includes the mutated subtree) and at any of
+        its descendants.  ``preserved`` is an iterable of analysis classes
+        to keep, or :data:`ALL_ANALYSES` to keep everything.
+        """
+        if preserved is ALL_ANALYSES:
+            return 0
+        preserved_classes = tuple(preserved)
+        evicted = 0
+        with self._lock:
+            for key in list(self._entries):
+                analysis_cls, _ = key
+                if analysis_cls in preserved_classes:
+                    continue
+                entry = self._entries[key]
+                if self._related(entry.anchor, anchor):
+                    del self._entries[key]
+                    evicted += 1
+            self.invalidations += evicted
+        return evicted
+
+    @staticmethod
+    def _related(cached_anchor: Operation, mutated: Operation) -> bool:
+        if cached_anchor is mutated:
+            return True
+        return mutated.is_ancestor_of(cached_anchor) or \
+            cached_anchor.is_ancestor_of(mutated)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- parallel scheduling ----------------------------------------------
+    def child(self) -> "AnalysisManager":
+        """A fresh manager for one worker of the ``jobs=N`` scheduler.
+
+        Workers run on disjoint isolated functions, so children start
+        empty (module-anchored entries cannot be shared safely while
+        sibling workers mutate the module's functions) and their stats
+        are folded back with :meth:`absorb`.
+        """
+        return AnalysisManager()
+
+    def absorb(self, worker: "AnalysisManager") -> None:
+        """Fold a worker manager's stats (and live entries) back in."""
+        with self._lock:
+            self.hits += worker.hits
+            self.misses += worker.misses
+            self.invalidations += worker.invalidations
+            self._entries.update(worker._entries)
+
+    # -- compile-cache interplay ------------------------------------------
+    def note_carried(self, analysis_names) -> None:
+        """Record analyses a compile-cache hit reported as still valid."""
+        with self._lock:
+            self.carried.extend(analysis_names)
+
+    def preserved_names(self) -> List[str]:
+        """Class names of every currently cached (live) analysis."""
+        with self._lock:
+            return sorted({cls.__name__ for cls, _ in self._entries})
+
+    def preserved_names_for(self, root: Operation) -> List[str]:
+        """Class names of cached analyses anchored within ``root``'s tree."""
+        with self._lock:
+            return sorted({
+                cls.__name__ for (cls, _), entry in self._entries.items()
+                if entry.anchor is root or root.is_ancestor_of(entry.anchor)
+            })
+
+    # -- reporting ---------------------------------------------------------
+    def describe(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "entries": len(self._entries),
+            }
+
+    def __repr__(self) -> str:
+        stats = self.describe()
+        return (f"<AnalysisManager hits={stats['hits']} "
+                f"misses={stats['misses']} "
+                f"invalidations={stats['invalidations']} "
+                f"entries={stats['entries']}>")
+
+
+# ---------------------------------------------------------------------------
+# The per-thread current manager
+# ---------------------------------------------------------------------------
+
+_TLS = threading.local()
+
+
+def current_analysis_manager() -> Optional[AnalysisManager]:
+    """The manager installed for this thread's pipeline run, if any."""
+    return getattr(_TLS, "manager", None)
+
+
+@contextmanager
+def analysis_scope(manager: Optional[AnalysisManager]) -> Iterator[
+        Optional[AnalysisManager]]:
+    """Install ``manager`` as this thread's current analysis manager."""
+    previous = getattr(_TLS, "manager", None)
+    _TLS.manager = manager
+    try:
+        yield manager
+    finally:
+        _TLS.manager = previous
+
+
+def get_analysis(analysis_cls: Type, anchor: Operation) -> Any:
+    """Request an analysis through the current manager, or build directly.
+
+    The helper passes use (via ``Pass.get_analysis``): inside a pipeline
+    run results are cached and invalidation-tracked; outside (unit tests,
+    ad-hoc scripts) it falls back to direct construction.
+    """
+    manager = current_analysis_manager()
+    if manager is not None:
+        return manager.get(analysis_cls, anchor)
+    return _construct(analysis_cls, anchor)

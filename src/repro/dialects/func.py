@@ -87,16 +87,16 @@ class FuncOp(Operation):
 
     def set_function_type(self, arg_types: Sequence[Type],
                           result_types: Sequence[Type]) -> None:
-        self.attributes["function_type"] = TypeAttr(
-            FunctionType(tuple(arg_types), tuple(result_types)))
+        self.set_attr("function_type", TypeAttr(
+            FunctionType(tuple(arg_types), tuple(result_types))))
 
     def erase_argument(self, index: int) -> None:
         """Remove argument ``index`` from the signature and entry block."""
         self.body.erase_argument(index)
         ftype = self.function_type
         new_inputs = tuple(t for i, t in enumerate(ftype.inputs) if i != index)
-        self.attributes["function_type"] = TypeAttr(
-            FunctionType(new_inputs, ftype.results))
+        self.set_attr("function_type", TypeAttr(
+            FunctionType(new_inputs, ftype.results)))
 
 
 @register_op

@@ -41,6 +41,8 @@ from ..ir import (
     i32,
     index,
     is_float,
+    location_of,
+    user_code_location,
 )
 from ..dialects import affine, arith, math as math_dialect, memref, scf, sycl
 from ..dialects.func import FuncOp, ReturnOp
@@ -266,6 +268,7 @@ class KernelBuilder:
             arg_names.append(scalar.name)
         self.func = FuncOp.build(f"{source.name}", arg_types,
                                  arg_names=arg_names)
+        self.func.location = user_code_location()
         self.func.set_attr("sycl.kernel", UnitAttr())
         self.func.set_attr("sycl.kernel_name", UnitAttr())
         self._builder = Builder(InsertionPoint.at_end(self.func.body))
@@ -279,6 +282,11 @@ class KernelBuilder:
     # Low-level helpers
     # ------------------------------------------------------------------
     def _insert(self, op: Operation) -> Operation:
+        # Ops emitted from the embedded DSL point at the user's Python
+        # kernel line, so lint/verifier findings on built kernels carry
+        # a real source position.
+        if not location_of(op).is_known:
+            op.location = user_code_location()
         return self._builder.insert(op)
 
     @property

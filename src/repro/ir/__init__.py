@@ -35,8 +35,20 @@ from .concurrency import (
     unregistered_threading_allowed,
 )
 from .context import Context, Dialect, default_context
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticEngine,
+    Severity,
+)
 from .dominance import DominanceInfo, properly_dominates
 from .fingerprint import fingerprint, function_fingerprint, module_fingerprint
+from .location import (
+    UNKNOWN,
+    Location,
+    caller_location,
+    location_of,
+    user_code_location,
+)
 from .interfaces import (
     BranchOpInterface,
     CallOpInterface,
@@ -93,7 +105,12 @@ from .types import (
     memref,
 )
 from .values import BlockArgument, OpResult, Use, Value
-from .verifier import VerificationError, collect_symbols, verify
+from .verifier import (
+    VerificationError,
+    collect_symbols,
+    verify,
+    verify_with_diagnostics,
+)
 
 __all__ = [
     "ArrayAttr", "Attribute", "BoolAttr", "DenseElementsAttr", "DictAttr",
@@ -104,7 +121,10 @@ __all__ = [
     "ConcurrentWriteError", "WriteGuard", "allow_unregistered_threading",
     "guarded_region", "unregistered_threading_allowed",
     "Context", "Dialect", "default_context",
+    "Diagnostic", "DiagnosticEngine", "Severity",
     "DominanceInfo", "properly_dominates",
+    "Location", "UNKNOWN", "caller_location", "location_of",
+    "user_code_location",
     "fingerprint", "function_fingerprint", "module_fingerprint",
     "BranchOpInterface", "CallOpInterface", "EffectKind",
     "InterpretableOpInterface", "LoopLikeInterface",
@@ -122,4 +142,5 @@ __all__ = [
     "index", "is_float", "is_integer", "is_scalar", "memref",
     "BlockArgument", "OpResult", "Use", "Value",
     "VerificationError", "collect_symbols", "verify",
+    "verify_with_diagnostics",
 ]

@@ -1,0 +1,143 @@
+"""Source-located diagnostics (MLIR's ``DiagnosticEngine`` analogue).
+
+Verifier checks, lint rules and analyses report findings as
+:class:`Diagnostic` objects — a severity, a message, the
+:class:`~repro.ir.location.Location` of the offending operation and any
+number of attached notes — instead of bare strings.  A
+:class:`DiagnosticEngine` routes emitted diagnostics to registered
+handlers; the default handler prints to stderr, and tests/drivers capture
+into a list instead (``engine.capture()``).
+
+``repro-opt --verify-diagnostics`` builds on this: expected diagnostics
+are written as ``// expected-error {{...}}`` comments in the input and
+matched against what the engine actually captured (see
+:mod:`repro.tools.repro_opt`).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from enum import Enum
+from typing import Callable, Iterator, List, Optional
+
+from .location import Location, location_of
+
+
+class Severity(Enum):
+    """Diagnostic severities, ordered from informational to fatal."""
+
+    REMARK = "remark"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Diagnostic:
+    """One emitted finding: severity, message, location and notes."""
+
+    __slots__ = ("severity", "message", "location", "notes")
+
+    def __init__(self, severity: Severity, message: str,
+                 location: Optional[Location] = None,
+                 notes: Optional[List["Diagnostic"]] = None):
+        self.severity = severity
+        self.message = message
+        self.location = location if location is not None else Location()
+        self.notes: List[Diagnostic] = list(notes or [])
+
+    def attach_note(self, message: str,
+                    location: Optional[Location] = None) -> "Diagnostic":
+        """Attach a note to this diagnostic; returns self for chaining."""
+        self.notes.append(Diagnostic(Severity.REMARK, message, location))
+        return self
+
+    def render(self) -> str:
+        """``file:line:col: severity: message`` plus indented notes."""
+        lines = [f"{self.location.describe()}: {self.severity}: "
+                 f"{self.message}"]
+        for note in self.notes:
+            lines.append(f"{note.location.describe()}: note: {note.message}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.severity}: {self.message!r}>"
+
+
+DiagnosticHandler = Callable[[Diagnostic], None]
+
+
+def _print_handler(diagnostic: Diagnostic) -> None:
+    print(diagnostic.render(), file=sys.stderr)
+
+
+class DiagnosticEngine:
+    """Routes diagnostics to handlers and keeps severity counts.
+
+    With no handler registered, diagnostics print to stderr (the MLIR
+    default).  ``capture()`` temporarily swaps handlers for a list sink —
+    the mode every test and the ``--verify-diagnostics`` driver use.
+    """
+
+    def __init__(self):
+        self.handlers: List[DiagnosticHandler] = []
+        self.captured: List[Diagnostic] = []
+        self._capturing = 0
+        self.counts = {severity: 0 for severity in Severity}
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.counts[diagnostic.severity] += 1
+        if self._capturing:
+            self.captured.append(diagnostic)
+            return diagnostic
+        if self.handlers:
+            for handler in self.handlers:
+                handler(diagnostic)
+        else:
+            _print_handler(diagnostic)
+        return diagnostic
+
+    def _emit(self, severity: Severity, message: str,
+              location: Optional[Location], op) -> Diagnostic:
+        if location is None and op is not None:
+            location = location_of(op)
+        return self.emit(Diagnostic(severity, message, location))
+
+    def error(self, message: str, location: Optional[Location] = None,
+              op=None) -> Diagnostic:
+        return self._emit(Severity.ERROR, message, location, op)
+
+    def warning(self, message: str, location: Optional[Location] = None,
+                op=None) -> Diagnostic:
+        return self._emit(Severity.WARNING, message, location, op)
+
+    def remark(self, message: str, location: Optional[Location] = None,
+               op=None) -> Diagnostic:
+        return self._emit(Severity.REMARK, message, location, op)
+
+    # -- handlers ----------------------------------------------------------
+    def register_handler(self, handler: DiagnosticHandler) -> None:
+        self.handlers.append(handler)
+
+    @contextmanager
+    def capture(self) -> Iterator[List[Diagnostic]]:
+        """Capture emitted diagnostics into the yielded list."""
+        sink: List[Diagnostic] = []
+        outer = self.captured
+        self.captured = sink
+        self._capturing += 1
+        try:
+            yield sink
+        finally:
+            self._capturing -= 1
+            self.captured = outer
+
+    @property
+    def error_count(self) -> int:
+        return self.counts[Severity.ERROR]

@@ -124,11 +124,31 @@ def fingerprint(op: "Operation",
     function modulo its symbol name.  ``include_name_hints`` additionally
     hashes the SSA name hints, distinguishing textually different
     spellings of structurally identical IR.
+
+    Digests are memoized on the root op against the global structural
+    mutation clock (:func:`repro.ir.operations.mutation_clock`): bursts
+    of fingerprint queries between mutations — the AnalysisManager's hit
+    path validates every ``get`` this way — hash each subtree once.  Any
+    mutation anywhere invalidates every memo, which is conservative but
+    never stale.
     """
-    encoder = _Encoder(frozenset(ignore_attrs),
-                       include_name_hints=include_name_hints)
+    from .operations import mutation_clock
+
+    key = (frozenset(ignore_attrs), include_name_hints)
+    now = mutation_clock()
+    memo = getattr(op, "_fingerprint_memo", None)
+    if memo is not None and memo[0] == now:
+        digest = memo[1].get(key)
+        if digest is not None:
+            return digest
+    encoder = _Encoder(key[0], include_name_hints=include_name_hints)
     encoder.encode_op(op)
-    return encoder.digest()
+    digest = encoder.digest()
+    if memo is None or memo[0] != now:
+        memo = (now, {})
+        op._fingerprint_memo = memo
+    memo[1][key] = digest
+    return digest
 
 
 def module_fingerprint(module: "Operation") -> str:

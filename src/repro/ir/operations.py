@@ -21,6 +21,29 @@ class IRError(Exception):
     """Raised for malformed IR manipulations."""
 
 
+#: Global structural-mutation clock.  Every mutation that can change a
+#: structural fingerprint — (un)linking an operation, rewiring an operand,
+#: touching attributes, block arguments or region lists — bumps it, so
+#: read-heavy layers (fingerprint memoization, and through it the
+#: AnalysisManager's hit path) can validate cached derived data with one
+#: integer compare instead of an O(n) re-hash.  Like ``_index_cache``,
+#: the contract is "bursts of queries between mutations pay once".  The
+#: counter is monotone; concurrent mutation is already restricted to
+#: disjoint functions by the jobs=N write guard, which keeps the
+#: increment-race window irrelevant for any fingerprint a worker can see.
+_MUTATION_CLOCK = 0
+
+
+def mutation_clock() -> int:
+    """Current value of the structural-mutation clock."""
+    return _MUTATION_CLOCK
+
+
+def _bump_mutation_clock() -> None:
+    global _MUTATION_CLOCK
+    _MUTATION_CLOCK += 1
+
+
 class Operation:
     """A generic operation.
 
@@ -31,6 +54,12 @@ class Operation:
 
     OPERATION_NAME: str = "builtin.unregistered"
     TRAITS: frozenset = frozenset()
+
+    #: Source provenance (:class:`repro.ir.location.Location`), attached by
+    #: the parser / kernel builder; ``None`` means unknown.  Kept a class
+    #: default so located and location-free ops stay layout-compatible
+    #: (``clone`` copies the instance attribute when present).
+    location = None
 
     def __init__(self,
                  operands: Sequence[Value] = (),
@@ -86,6 +115,7 @@ class Operation:
     def set_operand(self, index: int, value: Value) -> None:
         if concurrency._ACTIVE_GUARD is not None:
             concurrency._ACTIVE_GUARD.check_op(self)
+        _bump_mutation_clock()
         old = self._operands[index]
         old.remove_use(self, index)
         self._operands[index] = value
@@ -97,6 +127,7 @@ class Operation:
                 self.set_operand(i, new)
 
     def drop_all_uses_of_operands(self) -> None:
+        _bump_mutation_clock()
         for i, operand in enumerate(self._operands):
             operand.remove_use(self, i)
         self._operands = []
@@ -128,9 +159,11 @@ class Operation:
         return self.attributes.get(name, default)
 
     def set_attr(self, name: str, attr: Attribute) -> None:
+        _bump_mutation_clock()
         self.attributes[name] = attr
 
     def remove_attr(self, name: str) -> None:
+        _bump_mutation_clock()
         self.attributes.pop(name, None)
 
     def get_int_attr(self, name: str, default: Optional[int] = None) -> Optional[int]:
@@ -368,11 +401,13 @@ class Block:
 
     # -- arguments ----------------------------------------------------------
     def add_argument(self, type_: Type, name_hint: Optional[str] = None) -> BlockArgument:
+        _bump_mutation_clock()
         arg = BlockArgument(self, len(self.arguments), type_, name_hint)
         self.arguments.append(arg)
         return arg
 
     def erase_argument(self, index: int) -> None:
+        _bump_mutation_clock()
         arg = self.arguments[index]
         if arg.has_uses():
             raise IRError("cannot erase block argument that still has uses")
@@ -407,6 +442,7 @@ class Block:
     def append(self, op: Operation) -> Operation:
         if concurrency._ACTIVE_GUARD is not None:
             concurrency._ACTIVE_GUARD.check_block(self)
+        _bump_mutation_clock()
         op.detach()
         op.parent = self
         op._prev = self._last
@@ -444,6 +480,7 @@ class Block:
             raise IRError("insertion anchor is not in this block")
         if op is anchor:
             return op  # inserting before itself is a no-op
+        _bump_mutation_clock()
         op.detach()
         op.parent = self
         prev = anchor._prev
@@ -470,6 +507,7 @@ class Block:
         """Remove ``op`` from the intrusive list (O(1))."""
         if concurrency._ACTIVE_GUARD is not None:
             concurrency._ACTIVE_GUARD.check_block(self)
+        _bump_mutation_clock()
         prev, nxt = op._prev, op._next
         if prev is not None:
             prev._next = nxt
@@ -519,6 +557,7 @@ class Block:
 
     def erase_all_ops(self) -> None:
         """Erase all operations, dropping uses (used when erasing regions)."""
+        _bump_mutation_clock()
         for op in reversed(self.operations):
             for res in op.results:
                 res.drop_all_uses()
@@ -570,6 +609,7 @@ class Region:
         self.blocks: List[Block] = []
 
     def add_block(self, block: Optional[Block] = None) -> Block:
+        _bump_mutation_clock()
         if block is None:
             block = Block()
         block.parent = self

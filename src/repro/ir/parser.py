@@ -39,6 +39,7 @@ from .attributes import (
     TypeAttr,
     UnitAttr,
 )
+from .location import UNKNOWN, Location
 from .operations import (
     Block,
     Operation,
@@ -90,15 +91,24 @@ class _Scope:
     def __init__(self, isolated: bool):
         self.isolated = isolated
         self.values: Dict[str, Value] = {}
+        #: Forward references (uses before the definition, MLIR-style):
+        #: ``name -> (placeholder value, position of the first use)``.
+        #: Resolved when the scope later defines the name; still-unresolved
+        #: entries are reported when the scope closes.  Dominance of
+        #: resolved uses is deliberately NOT the parser's job — the
+        #: verifier and ``repro-lint`` diagnose it on the parsed IR.
+        self.forward: Dict[str, Tuple[Value, int]] = {}
 
 
 class Parser:
     """Recursive-descent parser over the printed generic syntax."""
 
-    def __init__(self, text: str, allow_unregistered: bool = False):
+    def __init__(self, text: str, allow_unregistered: bool = False,
+                 filename: str = "<input>"):
         self.text = text
         self.pos = 0
         self.allow_unregistered = allow_unregistered
+        self.filename = filename
         self._scopes: List[_Scope] = [_Scope(isolated=True)]
 
     # ------------------------------------------------------------------
@@ -157,6 +167,13 @@ class Parser:
         column = self.pos - (consumed.rfind("\n") + 1) + 1
         raise ParseError(message, line, column)
 
+    def _location_at(self, pos: int) -> Location:
+        """Source location (1-based line/col) of character ``pos``."""
+        consumed = self.text[:pos]
+        line = consumed.count("\n") + 1
+        column = pos - (consumed.rfind("\n") + 1) + 1
+        return Location(self.filename, line, column)
+
     # ------------------------------------------------------------------
     # SSA value scoping
     # ------------------------------------------------------------------
@@ -165,15 +182,41 @@ class Parser:
         if name in scope.values:
             self.error(f"redefinition of value %{name}")
         scope.values[name] = value
+        pending = scope.forward.pop(name, None)
+        if pending is not None:
+            placeholder, use_pos = pending
+            if placeholder.type != value.type:
+                self.pos = use_pos
+                self.error(
+                    f"type mismatch for forward-referenced value %{name}: "
+                    f"used as {placeholder.type} but defined as {value.type}")
+            placeholder.replace_all_uses_with(value)
 
-    def _lookup_value(self, name: str) -> Value:
+    def _lookup_value(self, name: str, declared: Optional[Type] = None,
+                      use_pos: Optional[int] = None) -> Value:
         for scope in reversed(self._scopes):
             if name in scope.values:
                 return scope.values[name]
             if scope.isolated:
                 break
-        self.error(f"use of undefined value %{name}")
-        raise AssertionError("unreachable")
+        if declared is None:
+            self.error(f"use of undefined value %{name}")
+        # A use before the definition: hand out a typed placeholder that a
+        # later definition in this scope replaces (the mlir-opt behaviour,
+        # which keeps dominance violations *parseable* so the verifier and
+        # the lint rules can diagnose them on real IR).
+        scope = self._scopes[-1]
+        if name not in scope.forward:
+            pos = use_pos if use_pos is not None else self.pos
+            scope.forward[name] = (Value(declared, name_hint=name), pos)
+        return scope.forward[name][0]
+
+    def _close_scope(self) -> None:
+        scope = self._scopes.pop()
+        if scope.forward:
+            name, (_, use_pos) = next(iter(scope.forward.items()))
+            self.pos = use_pos
+            self.error(f"use of undefined value %{name}")
 
     # ------------------------------------------------------------------
     # Operations
@@ -182,6 +225,8 @@ class Parser:
             self,
             successor_sink: Optional[List[Tuple[Operation, List[int]]]] = None,
     ) -> Operation:
+        self._skip_ws()
+        op_start = self.pos
         result_names = self._parse_result_names()
         op_name = self._parse_string_literal("operation name")
         operand_names = self._parse_operand_names()
@@ -196,8 +241,8 @@ class Parser:
                 f"'{op_name}' has {len(operand_names)} operands but its "
                 f"signature lists {len(in_types)} operand types")
         operands = []
-        for name, declared in zip(operand_names, in_types):
-            value = self._lookup_value(name)
+        for (name, use_pos), declared in zip(operand_names, in_types):
+            value = self._lookup_value(name, declared, use_pos)
             if value.type != declared:
                 self.error(
                     f"type mismatch for operand %{name} of '{op_name}': "
@@ -223,6 +268,12 @@ class Parser:
 
         if self._peek("("):
             self._parse_region_list(op)
+
+        # Trailing `loc(...)` (printed under print_locations) wins over the
+        # textual position the op was parsed at.
+        explicit = self._parse_location_trailer()
+        op.location = explicit if explicit is not None \
+            else self._location_at(op_start)
         return op
 
     def _parse_result_names(self) -> List[str]:
@@ -263,15 +314,18 @@ class Parser:
         self.error(f"unterminated string literal in {what}")
         raise AssertionError("unreachable")
 
-    def _parse_operand_names(self) -> List[str]:
+    def _parse_operand_names(self) -> List[Tuple[str, int]]:
+        """``(name, position)`` per operand; positions locate use errors."""
         self._expect("(", "before the operand list")
-        names: List[str] = []
+        names: List[Tuple[str, int]] = []
         if not self._consume(")"):
             while True:
+                self._skip_ws()
+                use_pos = self.pos
                 name = self._match_group(_VALUE_ID_RE)
                 if name is None:
                     self.error("expected an operand name ('%value')")
-                names.append(name)
+                names.append((name, use_pos))
                 if not self._consume(","):
                     break
             self._expect(")", "after the operand list")
@@ -289,6 +343,25 @@ class Parser:
                 break
         self._expect("]", "after the successor list")
         return indices
+
+    def _parse_location_trailer(self) -> Optional[Location]:
+        """Parse an optional trailing ``loc("file":line:col)`` clause."""
+        if not self._consume("loc("):
+            return None
+        if self._consume("unknown"):
+            self._expect(")", "after 'loc(unknown'")
+            return UNKNOWN
+        filename = self._parse_string_literal("location filename")
+        self._expect(":", "after the location filename")
+        line = self._match(_NUMBER_RE)
+        if line is None:
+            self.error("expected a line number in loc(...)")
+        self._expect(":", "after the location line number")
+        column = self._match(_NUMBER_RE)
+        if column is None:
+            self.error("expected a column number in loc(...)")
+        self._expect(")", "after the location")
+        return Location(filename, int(line), int(column))
 
     def _create_operation(self, name: str, operands: Sequence[Value],
                           result_types: Sequence[Type],
@@ -357,7 +430,7 @@ class Parser:
                         f"^bb{index}")
                 successors.append(target)
             branch.successors = successors
-        self._scopes.pop()
+        self._close_scope()
 
     def _parse_block_header(self) -> Tuple[int, Block]:
         label = self._match_group(_SUCCESSOR_RE)
@@ -609,20 +682,25 @@ class Parser:
 # Convenience entry points
 # ---------------------------------------------------------------------------
 
-def parse_op(text: str, allow_unregistered: bool = False) -> Operation:
+def parse_op(text: str, allow_unregistered: bool = False,
+             filename: str = "<input>") -> Operation:
     """Parse a single top-level operation; the whole input must be used."""
-    parser = Parser(text, allow_unregistered=allow_unregistered)
+    parser = Parser(text, allow_unregistered=allow_unregistered,
+                    filename=filename)
     if parser._at_end():
         parser.error("empty input: expected an operation")
     op = parser.parse_operation()
     if not parser._at_end():
         parser.error("unexpected trailing input after the top-level operation")
+    parser._close_scope()
     return op
 
 
-def parse_module(text: str, allow_unregistered: bool = False) -> Operation:
+def parse_module(text: str, allow_unregistered: bool = False,
+                 filename: str = "<input>") -> Operation:
     """Parse textual IR holding one top-level op (typically a module)."""
-    return parse_op(text, allow_unregistered=allow_unregistered)
+    return parse_op(text, allow_unregistered=allow_unregistered,
+                    filename=filename)
 
 
 def parse_type(text: str) -> Type:

@@ -20,8 +20,18 @@ from .values import BlockArgument, Value
 
 
 class Printer:
-    def __init__(self, indent_width: int = 2):
+    """Prints operation trees.
+
+    ``print_locations`` (mlir-opt's ``-mlir-print-debuginfo`` analogue)
+    appends each operation's ``loc(...)`` trailer.  It defaults to off so
+    the canonical textual form — and everything keyed on it: the
+    round-trip guarantee, fingerprints, the compile cache — is unaffected
+    by where the IR happened to come from.
+    """
+
+    def __init__(self, indent_width: int = 2, print_locations: bool = False):
         self.indent_width = indent_width
+        self.print_locations = print_locations
         self._names: Dict[int, str] = {}
         self._used: Set[str] = set()
         self._next_id = 0
@@ -98,6 +108,10 @@ class Printer:
                 self._print_region(region, out, indent + 1)
                 out.write(f"{pad}}}")
             out.write(")")
+        if self.print_locations:
+            from .location import location_of
+
+            out.write(f" {location_of(op)}")
         out.write("\n")
 
     def _print_region(self, region: Region, out: StringIO, indent: int) -> None:

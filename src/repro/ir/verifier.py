@@ -7,57 +7,104 @@ The verifier checks the invariants transformations rely on:
 * blocks with a terminator have it in last position only;
 * region-holding operations marked ``SINGLE_BLOCK`` have exactly one block;
 * per-operation checks via ``Operation.verify_op``.
+
+Findings are produced as source-located
+:class:`~repro.ir.diagnostics.Diagnostic` objects
+(:func:`verify_with_diagnostics`); the classic :func:`verify` entry point
+keeps returning plain message strings and raising
+:class:`VerificationError` so existing drivers are unaffected.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Set
 
+from .diagnostics import Diagnostic, DiagnosticEngine, Severity
+from .location import location_of
 from .operations import Block, Operation
 from .traits import Trait, has_trait
 from .values import BlockArgument, OpResult, Value
 
 
 class VerificationError(Exception):
-    """Raised when the IR violates a structural invariant."""
+    """Raised when the IR violates a structural invariant.
+
+    ``diagnostics`` carries the located findings behind the joined
+    message text.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: Optional[List[Diagnostic]] = None):
+        super().__init__(message)
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
 
 
 def verify(op: Operation, raise_on_error: bool = True) -> List[str]:
     """Verify ``op`` and all nested operations; return diagnostics."""
-    errors: List[str] = []
-    _verify_op(op, errors)
+    diagnostics = verify_with_diagnostics(op)
+    errors = [diag.message for diag in diagnostics]
     if errors and raise_on_error:
-        raise VerificationError("; ".join(errors))
+        raise VerificationError("; ".join(errors), diagnostics)
     return errors
 
 
-def _verify_op(op: Operation, errors: List[str]) -> None:
+def verify_with_diagnostics(
+        op: Operation,
+        engine: Optional[DiagnosticEngine] = None) -> List[Diagnostic]:
+    """Verify ``op``; return (and optionally emit) located diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    _verify_op(op, diagnostics)
+    if engine is not None:
+        for diagnostic in diagnostics:
+            engine.emit(diagnostic)
+    return diagnostics
+
+
+def _report(diagnostics: List[Diagnostic], op: Operation,
+            message: str) -> Diagnostic:
+    diagnostic = Diagnostic(Severity.ERROR, message, location_of(op))
+    diagnostics.append(diagnostic)
+    return diagnostic
+
+
+def _verify_op(op: Operation, diagnostics: List[Diagnostic]) -> None:
     try:
         op.verify_op()
     except Exception as exc:  # noqa: BLE001 - collect as diagnostic
-        errors.append(f"{op.name}: {exc}")
+        _report(diagnostics, op, f"{op.name}: {exc}")
 
     if has_trait(op, Trait.SINGLE_BLOCK):
         for region in op.regions:
             if len(region.blocks) > 1:
-                errors.append(f"{op.name}: expected a single block per region")
+                _report(diagnostics, op,
+                        f"{op.name}: expected a single block per region")
 
     for region in op.regions:
         for block in region.blocks:
-            _verify_block(op, block, errors)
+            _verify_block(op, block, diagnostics)
 
 
-def _verify_block(parent: Operation, block: Block, errors: List[str]) -> None:
+def _verify_block(parent: Operation, block: Block,
+                  diagnostics: List[Diagnostic]) -> None:
     ops = block.operations
     for index, op in enumerate(ops):
         if has_trait(op, Trait.TERMINATOR) and index != len(ops) - 1:
-            errors.append(
-                f"{op.name}: terminator must be the last operation in its block")
+            _report(
+                diagnostics, op,
+                f"{op.name}: terminator must be the last operation in its "
+                f"block")
         for operand in op.operands:
             if not _value_visible_from(operand, op):
-                errors.append(
-                    f"{op.name}: operand {operand!r} does not dominate its use")
-        _verify_op(op, errors)
+                diagnostic = _report(
+                    diagnostics, op,
+                    f"{op.name}: operand {operand!r} does not dominate its "
+                    f"use")
+                defining = operand.defining_op()
+                if defining is not None:
+                    diagnostic.attach_note(
+                        f"operand defined here by '{defining.name}'",
+                        location_of(defining))
+        _verify_op(op, diagnostics)
 
 
 def _value_visible_from(value: Value, user: Operation) -> bool:

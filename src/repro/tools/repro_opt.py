@@ -13,6 +13,14 @@ Pass-instrumentation backed debugging flags mirror mlir-opt:
   ``--print-ir-after-all`` dump the anchored IR around pass executions;
 * ``--verify-each`` verifies the IR after every pass (and dumps the broken
   IR when verification fails);
+* ``--lint`` runs the static lint rules (:mod:`repro.analysis.lint`) on
+  the final IR; ``--lint-each`` lints after every pass, naming the pass
+  that introduced each finding;
+* ``--verify-diagnostics`` checks emitted diagnostics against
+  ``// expected-error {{...}}`` comments in the input (mlir-opt's
+  ``-verify-diagnostics``); output IR is suppressed in this mode;
+* ``--print-locations`` prints ``loc(...)`` trailers on every operation
+  (mlir-opt's ``-mlir-print-debuginfo``);
 * ``--dump-pass-pipeline`` prints the canonical spec of the pipeline about
   to run (the ``parse_pass_pipeline`` / ``dump_pass_pipeline`` round trip);
 * ``--timing`` prints a per-pass wall-time table keyed by pipeline
@@ -34,19 +42,32 @@ gets textual before/after test cases runnable through this driver (see
 from __future__ import annotations
 
 import argparse
+import re
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..dialects import all_dialects  # noqa: F401 - registers ops and types
-from ..ir import ParseError, Printer, VerificationError, parse_module, verify
+from ..ir import (
+    DiagnosticEngine,
+    ParseError,
+    Printer,
+    Severity,
+    VerificationError,
+    parse_module,
+    verify,
+    verify_with_diagnostics,
+)
+from ..analysis.lint import run_lint
 from ..transforms.compile_cache import CompileCache
 from ..transforms.pass_manager import (
     CompileReport,
     IRPrintingInstrumentation,
+    LintInstrumentation,
     VerifierInstrumentation,
 )
 from ..transforms.pipelines import (
     NAMED_PIPELINES,
+    check_pass_pipeline,
     describe_registered_passes,
     build_named_pipeline,
     dump_pass_pipeline,
@@ -93,6 +114,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--verify-each", action="store_true",
         help="verify the IR after every pass "
              "(VerifierInstrumentation)")
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the static lint rules on the final IR and fail on "
+             "findings (see repro-lint)")
+    parser.add_argument(
+        "--lint-each", action="store_true",
+        help="lint the anchored IR after every pass, naming the pass "
+             "that introduced each finding (LintInstrumentation)")
+    parser.add_argument(
+        "--verify-diagnostics", action="store_true",
+        help="check emitted diagnostics against '// expected-error "
+             "{{...}}' comments in the input instead of printing IR")
+    parser.add_argument(
+        "--print-locations", action="store_true",
+        help="print loc(...) trailers on every operation "
+             "(-mlir-print-debuginfo analogue)")
     parser.add_argument(
         "--report", action="store_true",
         help="print the compile report (statistics, remarks) to stderr")
@@ -196,6 +233,54 @@ def _collect_segments(args) -> List[tuple]:
     return segments
 
 
+#: ``// expected-error @+1 {{message}}`` — the mlir-opt test convention.
+_EXPECTED_RE = re.compile(
+    r"//\s*expected-(error|warning|remark)\s*(?:@([+-]\d+))?\s*\{\{(.*?)\}\}")
+
+_SEVERITIES = {"error": Severity.ERROR, "warning": Severity.WARNING,
+               "remark": Severity.REMARK}
+
+
+def _collect_expected(text: str) -> List[Tuple[Severity, int, str]]:
+    """``(severity, line, substring)`` per expected-* comment in ``text``.
+
+    ``@+N`` / ``@-N`` anchor the expectation N lines below/above the
+    comment; the default is the comment's own line.
+    """
+    expected: List[Tuple[Severity, int, str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _EXPECTED_RE.finditer(line):
+            offset = int(match.group(2)) if match.group(2) else 0
+            expected.append((_SEVERITIES[match.group(1)],
+                             lineno + offset, match.group(3)))
+    return expected
+
+
+def _match_expected(expected, captured) -> List[str]:
+    """Mismatch descriptions (empty = the segment's diagnostics verify).
+
+    Each expectation consumes one captured diagnostic with the same
+    severity, the same line and the expected text as a substring of the
+    message; leftovers in either direction are mismatches.
+    """
+    unmatched = list(captured)
+    problems: List[str] = []
+    for severity, line, text in expected:
+        for diagnostic in unmatched:
+            if diagnostic.severity is severity and \
+                    diagnostic.location.line == line and \
+                    text in diagnostic.message:
+                unmatched.remove(diagnostic)
+                break
+        else:
+            problems.append(
+                f"expected {severity} on line {line} was not produced: "
+                f"{{{{{text}}}}}")
+    for diagnostic in unmatched:
+        problems.append(f"unexpected diagnostic: {diagnostic.render()}")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
@@ -211,6 +296,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("repro-opt: --jobs must be >= 1", file=sys.stderr)
         return 2
 
+    if args.passes:
+        # Static spec validation (the pipeline checker): malformed specs
+        # are reported with their character offset before any input IR
+        # is read or parsed.
+        problems = check_pass_pipeline(args.passes)
+        if problems:
+            for diagnostic in problems:
+                print(f"repro-opt: {diagnostic.render()}", file=sys.stderr)
+            return 2
+
     try:
         segments = _collect_segments(args)
     except OSError as exc:
@@ -220,11 +315,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     modules = []
     for label, text in segments:
         try:
+            # Parse under the real file name so every op carries a
+            # file:line:col location diagnostics can point at.
             modules.append(parse_module(
-                text, allow_unregistered=args.allow_unregistered))
+                text, allow_unregistered=args.allow_unregistered,
+                filename=label.split(" (segment")[0]))
         except ParseError as exc:
             print(f"repro-opt: {label}: parse error: {exc}", file=sys.stderr)
             return 1
+
+    engine = DiagnosticEngine() if args.verify_diagnostics else None
 
     try:
         if args.pipeline:
@@ -239,9 +339,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     cache = None
+    lint_each = None
     if manager is not None:
         if args.verify_each:
             manager.add_instrumentation(VerifierInstrumentation())
+        if args.lint_each:
+            lint_each = LintInstrumentation(engine=engine)
+            manager.add_instrumentation(lint_each)
         try:
             # Selectors match the NAME pass executions carry, so resolve
             # aliases (`licm` -> `sycl-licm`) and reject typos up front.
@@ -271,8 +375,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     # pipeline, so position-keyed timing buckets sum across segments.
     report = CompileReport() if manager is not None else None
     printed: List[str] = []
+    lint_findings = 0
+    expectation_problems: List[str] = []
     try:
-        for (label, _), module in zip(segments, modules):
+        for (label, text), module in zip(segments, modules):
+            if engine is not None:
+                # --verify-diagnostics: capture everything the segment
+                # emits (verifier, lint) and check it against the
+                # expected-* comments; broken IR is the expected case
+                # here, so verification failures do not abort the batch.
+                with engine.capture() as captured:
+                    broken = False
+                    if not args.no_verify:
+                        broken = bool(verify_with_diagnostics(module, engine))
+                    if manager is not None and not broken:
+                        try:
+                            manager.run(module, report=report)
+                        except ValueError as exc:
+                            print(f"repro-opt: {label}: {exc}",
+                                  file=sys.stderr)
+                            return 2
+                        if not args.no_verify:
+                            verify_with_diagnostics(module, engine)
+                    if args.lint and not broken:
+                        run_lint(module, am=_analysis_manager_of(manager),
+                                 engine=engine)
+                expectation_problems.extend(
+                    f"{label}: {problem}" for problem in
+                    _match_expected(_collect_expected(text), captured))
+                continue
             try:
                 if not args.no_verify:
                     verify(module)
@@ -287,10 +418,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             except ValueError as exc:
                 print(f"repro-opt: {label}: {exc}", file=sys.stderr)
                 return 2
-            printed.append(Printer().print_module(module) + "\n")
+            if args.lint:
+                findings = run_lint(module,
+                                    am=_analysis_manager_of(manager))
+                for diagnostic in findings:
+                    print(f"repro-opt: {label}: {diagnostic.render()}",
+                          file=sys.stderr)
+                lint_findings += len(findings)
+            printed.append(
+                Printer(print_locations=args.print_locations)
+                .print_module(module) + "\n")
     finally:
         if manager is not None:
             manager.close()
+
+    if lint_each is not None and engine is None:
+        for pass_name, diagnostic in lint_each.findings:
+            print(f"repro-opt: after pass '{pass_name}': "
+                  f"{diagnostic.render()}", file=sys.stderr)
+        lint_findings += len(lint_each.findings)
+
+    if engine is not None:
+        for problem in expectation_problems:
+            print(f"repro-opt: {problem}", file=sys.stderr)
+        return 1 if expectation_problems else 0
 
     _write_output(args.output, (SPLIT_MARKER + "\n").join(printed))
     if args.report and report is not None:
@@ -300,9 +451,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"compile cache: {stats['hits']} hits, "
                   f"{stats['misses']} misses, {stats['entries']} entries",
                   file=sys.stderr)
+        if manager is not None:
+            print(f"analysis manager: {manager.analysis_manager.describe()}",
+                  file=sys.stderr)
     if args.timing and report is not None:
         print(_format_timing_table(report.timings), file=sys.stderr)
-    return 0
+    return 1 if lint_findings else 0
+
+
+def _analysis_manager_of(manager):
+    """The pass manager's analysis manager (None without a pipeline)."""
+    return manager.analysis_manager if manager is not None else None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from .pass_manager import (
     CompileReport,
     FunctionPass,
     IRPrintingInstrumentation,
+    LintInstrumentation,
     ModulePass,
     OpPassManager,
     Pass,
@@ -44,6 +45,7 @@ from .pipelines import (
     adaptivecpp_jit_pipeline,
     available_passes,
     build_named_pipeline,
+    check_pass_pipeline,
     describe_registered_passes,
     dpcpp_pipeline,
     dump_pass_pipeline,
@@ -58,7 +60,7 @@ from .rewrite import (
     RewritePattern,
     apply_patterns_greedily,
 )
-from .specialization import RuntimeCheckedAliasAnalysis, specialize_kernel
+from .specialization import RuntimeCheckedAliasAnalysis
 
 __all__ = [
     "CanonicalizePass", "DCEPass", "erase_dead_ops", "fold_operation",
@@ -73,15 +75,17 @@ __all__ = [
     "LowerAccessorSubscripts",
     "CachedCompile", "CacheStats", "CompileCache",
     "CompileReport", "FunctionPass", "IRPrintingInstrumentation",
+    "LintInstrumentation",
     "ModulePass", "OpPassManager", "Pass", "PassInstrumentation",
     "PassManager", "PassOptions", "PassRegistration", "PassStatistic",
     "TimingInstrumentation", "VerifierInstrumentation", "lookup_pass",
     "register_pass", "register_pass_alias",
     "OptimizationOptions", "PipelineParseError", "adaptivecpp_aot_pipeline",
     "adaptivecpp_jit_pipeline", "available_passes", "build_named_pipeline",
+    "check_pass_pipeline",
     "describe_registered_passes", "dpcpp_pipeline", "dump_pass_pipeline",
     "parse_pass_pipeline", "resolve_pass_name", "sycl_mlir_pipeline",
     "NonConvergenceWarning", "PatternRewriter", "RewritePattern",
     "apply_patterns_greedily",
-    "RuntimeCheckedAliasAnalysis", "specialize_kernel",
+    "RuntimeCheckedAliasAnalysis",
 ]

@@ -49,6 +49,9 @@ class CachedCompile:
     #: ``(pass_name, statistic name, value)`` triples.
     statistics: List[Tuple[str, str, int]] = field(default_factory=list)
     remarks: List[str] = field(default_factory=list)
+    #: Class names of analyses the compiling run left valid for the cached
+    #: module; a hit carries them so consumers know what can be warmed.
+    preserved_analyses: Tuple[str, ...] = ()
 
     def materialize(self) -> Operation:
         """A private deep clone of the cached module."""

@@ -39,6 +39,7 @@ from ..dialects import scf as scf_dialect
 from ..dialects.func import FuncOp
 from ..analysis.alias import AliasAnalysis
 from ..analysis.sycl_alias import SYCLAliasAnalysis
+from ..analysis.manager import current_analysis_manager
 from .pass_manager import (
     CompileReport,
     FunctionPass,
@@ -118,23 +119,46 @@ class LoopInvariantCodeMotion(FunctionPass):
             options = dataclasses.replace(
                 options, alias=alias_spec_name(alias_analysis))
         super().__init__(options=options)
+        #: ``None`` unless a concrete analysis was injected; the spec-named
+        #: default resolves per function run (through the analysis manager
+        #: when one is active, so repeated passes share one instance).
+        self._injected_alias = alias_analysis
         self.alias_analysis = alias_analysis if alias_analysis is not None \
             else make_alias_analysis(options.alias)
         self.allow_side_effecting_hoist = options.allow_side_effecting_hoist
 
     # ------------------------------------------------------------------
+    def _alias_for(self, function: FuncOp) -> AliasAnalysis:
+        """The alias analysis to consult for ``function``.
+
+        Resolved through the run's analysis manager (cached per function,
+        invalidation-aware) unless a concrete analysis was injected or
+        the pass runs outside a pipeline.  Kept off ``self`` at run time:
+        the parallel scheduler shares one pass instance across workers.
+        """
+        if self._injected_alias is not None:
+            return self._injected_alias
+        manager = current_analysis_manager()
+        if manager is None:
+            return self.alias_analysis
+        return manager.get(type(self.alias_analysis), function)
+
+    # ------------------------------------------------------------------
     def run_on_function(self, function: FuncOp, report: CompileReport) -> None:
+        alias = self._alias_for(function)
         # Innermost loops first so invariants bubble outwards.
         loops = [op for op in function.walk() if isinstance(op, _LOOP_TYPES)]
         for loop in reversed(loops):
             if loop.parent is None:
                 continue
-            hoisted = self._process_loop(loop)
+            hoisted = self._process_loop(loop, alias)
             if hoisted:
                 report.add_statistic(self.NAME, "ops_hoisted", hoisted)
 
     # ------------------------------------------------------------------
-    def _process_loop(self, loop: Operation) -> int:
+    def _process_loop(self, loop: Operation,
+                      alias: Optional[AliasAnalysis] = None) -> int:
+        alias = alias if alias is not None else self.alias_analysis
         trip_count = _loop_trip_count(loop)
         may_not_execute = trip_count is None or trip_count == 0
         hoisted_total = 0
@@ -158,7 +182,7 @@ class LoopInvariantCodeMotion(FunctionPass):
                     continue
                 if not self.allow_side_effecting_hoist or may_not_execute:
                     continue
-                if self._can_hoist_effectful(op, loop):
+                if self._can_hoist_effectful(op, loop, alias):
                     self._hoist(op, loop)
                     hoisted_total += 1
                     changed = True
@@ -177,7 +201,8 @@ class LoopInvariantCodeMotion(FunctionPass):
                     return False
         return True
 
-    def _can_hoist_effectful(self, op: Operation, loop: Operation) -> bool:
+    def _can_hoist_effectful(self, op: Operation, loop: Operation,
+                             alias: AliasAnalysis) -> bool:
         effects = get_memory_effects(op)
         if effects is None:
             return False
@@ -208,8 +233,9 @@ class LoopInvariantCodeMotion(FunctionPass):
                     # A write in the loop kills hoisting of reads of an
                     # aliasing location, and of writes to an aliasing
                     # location.
-                    if self._conflicts(effect.value, read_targets) or \
-                            self._conflicts(effect.value, write_targets):
+                    if self._conflicts(effect.value, read_targets, alias) or \
+                            self._conflicts(effect.value, write_targets,
+                                            alias):
                         return False
                 elif effect.kind == EffectKind.READ:
                     # A read in the loop prevents hoisting a write that may
@@ -217,8 +243,8 @@ class LoopInvariantCodeMotion(FunctionPass):
                     # write's (invariant) value: the candidate is the only
                     # write to that location and precedes the read in the
                     # loop body.
-                    if self._conflicts(effect.value, write_targets) and \
-                            not op.is_before_in_block(other):
+                    if self._conflicts(effect.value, write_targets, alias) \
+                            and not op.is_before_in_block(other):
                         return False
         return True
 
@@ -232,13 +258,13 @@ class LoopInvariantCodeMotion(FunctionPass):
             all_effects.extend(effects)
         return all_effects
 
-    def _conflicts(self, value: Optional[Value], targets: List[Value]) -> bool:
+    def _conflicts(self, value: Optional[Value], targets: List[Value],
+                   alias: AliasAnalysis) -> bool:
         if not targets:
             return False
         if value is None:
             return True
-        return any(self.alias_analysis.may_alias(value, target)
-                   for target in targets)
+        return any(alias.may_alias(value, target) for target in targets)
 
     @staticmethod
     def _hoist(op: Operation, loop: Operation) -> None:
@@ -256,16 +282,17 @@ class VersionedLICM(LoopInvariantCodeMotion):
 
     NAME = "sycl-licm-versioned"
 
-    def _process_loop(self, loop: Operation) -> int:
+    def _process_loop(self, loop: Operation,
+                      alias: Optional[AliasAnalysis] = None) -> int:
         trip_count = _loop_trip_count(loop)
         if trip_count is not None:
-            return super()._process_loop(loop)
+            return super()._process_loop(loop, alias)
         if not isinstance(loop, (affine_dialect.AffineForOp, scf_dialect.ForOp)):
             return 0
         guarded = self._guard_loop(loop)
         if guarded is None:
             return 0
-        return super()._process_loop(guarded)
+        return super()._process_loop(guarded, alias)
 
     def _guard_loop(self, loop: Operation) -> Optional[Operation]:
         parent_block = loop.parent

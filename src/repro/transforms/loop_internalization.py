@@ -106,7 +106,8 @@ class LoopInternalization(FunctionPass):
         if nd_item is None:
             return
 
-        uniformity = self._uniformity or UniformityAnalysis(function)
+        uniformity = self._uniformity or \
+            self.get_analysis(UniformityAnalysis, function)
         loops = [op for op in function.walk()
                  if isinstance(op, affine_dialect.AffineForOp)]
         for loop in loops:
@@ -159,7 +160,7 @@ class LoopInternalization(FunctionPass):
         if trip_count % tile != 0 or trip_count < tile or tile < 2:
             return [], None
 
-        analysis = MemoryAccessAnalysis(loop)
+        analysis = self.get_analysis(MemoryAccessAnalysis, loop)
         iv = loop.induction_variable()
         candidates: List[InternalizationCandidate] = []
         for op in loop.body.ops_without_terminator():

@@ -48,6 +48,11 @@ from ..ir.concurrency import (
     guarded_region,
     unregistered_threading_allowed,
 )
+from ..analysis.manager import (
+    AnalysisManager,
+    analysis_scope,
+    current_analysis_manager,
+)
 from ..dialects.func import FuncOp
 
 #: Operation names a pipeline may anchor on.  ``builtin.module`` pipelines
@@ -285,6 +290,28 @@ class Pass:
 
     def run(self, op: Operation, report: CompileReport) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def preserves(self) -> Iterable[type]:
+        """Analysis classes still valid after this pass ran.
+
+        The pass manager invalidates every cached analysis touching the
+        anchor after each pass *except* the classes returned here
+        (MLIR's ``markAnalysesPreserved``).  Return
+        :data:`repro.analysis.manager.ALL_ANALYSES` from passes that never
+        mutate the IR.  The default — nothing preserved — is always safe.
+        """
+        return ()
+
+    def get_analysis(self, analysis_cls: type, op: Operation):
+        """Request an analysis via the run's analysis manager.
+
+        Inside a pipeline run results are cached per anchor op and
+        invalidated according to :meth:`preserves`; outside a run the
+        analysis is constructed directly.
+        """
+        from ..analysis.manager import get_analysis
+
+        return get_analysis(analysis_cls, op)
 
     def can_schedule_on(self, anchor: str) -> bool:
         """Whether this pass may be added to a pipeline anchored on
@@ -552,6 +579,32 @@ class VerifierInstrumentation(PassInstrumentation):
         verify(op)
 
 
+class LintInstrumentation(PassInstrumentation):
+    """Runs the lint rules after every pass (``--lint-each``).
+
+    Findings accumulate in :attr:`findings` tagged with the pass that
+    produced the offending IR, so a miscompiling pass is identified the
+    moment it fires rather than at end of pipeline.  Analyses are
+    requested through the run's active :class:`AnalysisManager`, so a
+    pass that ``preserves()`` its analyses lints from warm caches.
+    """
+
+    def __init__(self, rules: Optional[List[str]] = None,
+                 engine=None):
+        self.rules = rules
+        self.engine = engine
+        #: ``(pass name, diagnostic)`` pairs in discovery order.
+        self.findings: List[tuple] = []
+
+    def run_after_pass(self, pass_: Pass, op: Operation) -> None:
+        from ..analysis.lint import run_lint
+
+        manager = current_analysis_manager()
+        for diagnostic in run_lint(op, rules=self.rules, am=manager,
+                                   engine=self.engine):
+            self.findings.append((pass_.NAME, diagnostic))
+
+
 # ---------------------------------------------------------------------------
 # Pass managers
 # ---------------------------------------------------------------------------
@@ -633,6 +686,9 @@ class _RunState:
     timing: Optional[TimingInstrumentation] = None
     #: True inside a worker thread: nested dispatch stays serial.
     in_worker: bool = False
+    #: The run's root analysis manager; workers get children and fold
+    #: their stats/entries back in (:meth:`AnalysisManager.absorb`).
+    analysis_manager: Optional[AnalysisManager] = None
 
 
 class PassManager(OpPassManager):
@@ -666,6 +722,10 @@ class PassManager(OpPassManager):
         self.verify_after_each = verify_after_each
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        #: Persistent across runs so batch drivers and benchmarks can
+        #: observe warm-vs-cold analysis costs; fingerprint validation
+        #: keeps stale entries from ever being served.
+        self.analysis_manager = AnalysisManager()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_jobs = 0
         if verify_after_each:
@@ -721,6 +781,13 @@ class PassManager(OpPassManager):
                     report.add_statistic(pass_name, name, value)
                 report.remarks.extend(hit.remarks)
                 report.add_statistic("compile-cache", "hits", 1)
+                # The hit carries the analyses the original compile left
+                # valid: they hold for the spliced (structurally
+                # identical) result, so clients can warm them knowingly.
+                if hit.preserved_analyses:
+                    self.analysis_manager.note_carried(hit.preserved_analyses)
+                    report.add_statistic("compile-cache", "analyses_carried",
+                                         len(hit.preserved_analyses))
                 # The hit's real cost (fingerprint + lookup + splice), so
                 # --timing tables account for warm segments instead of
                 # silently omitting them while statistics sum.
@@ -737,7 +804,9 @@ class PassManager(OpPassManager):
                 module=op.clone({}),
                 statistics=[(s.pass_name, s.name, s.value)
                             for s in fresh.statistics],
-                remarks=list(fresh.remarks)))
+                remarks=list(fresh.remarks),
+                preserved_analyses=tuple(
+                    self.analysis_manager.preserved_names_for(op))))
             report.merge(fresh, renumber_timings=False)
             report.add_statistic("compile-cache", "misses", 1)
         return report
@@ -751,12 +820,14 @@ class PassManager(OpPassManager):
         positions = self._slot_positions()
         state = _RunState(hook_lock=threading.Lock(),
                           executor=self._ensure_executor(),
-                          timing=timing)
+                          timing=timing,
+                          analysis_manager=self.analysis_manager)
         for instrumentation in instrumentations:
             instrumentation.run_before_pipeline(op)
         try:
-            self._run_pipeline(self, op, report, instrumentations, positions,
-                               state)
+            with analysis_scope(self.analysis_manager):
+                self._run_pipeline(self, op, report, instrumentations,
+                                   positions, state)
         finally:
             for key, value in timing.timings.items():
                 report.timings[key] = report.timings.get(key, 0.0) + value
@@ -884,10 +955,20 @@ class PassManager(OpPassManager):
             try:
                 local_report = CompileReport()
                 local_timing = TimingInstrumentation()
-                worker_state = dataclasses.replace(state, in_worker=True)
-                self._run_pipeline(pipeline, anchored, local_report,
-                                   shared_hooks + [local_timing], positions,
-                                   worker_state)
+                # A fresh per-worker manager: workers mutate disjoint
+                # functions, so entries cannot be shared while in flight;
+                # stats and surviving entries fold back in afterwards.
+                parent_manager = state.analysis_manager
+                worker_manager = parent_manager.child() \
+                    if parent_manager is not None else None
+                worker_state = dataclasses.replace(
+                    state, in_worker=True, analysis_manager=worker_manager)
+                with analysis_scope(worker_manager):
+                    self._run_pipeline(pipeline, anchored, local_report,
+                                       shared_hooks + [local_timing],
+                                       positions, worker_state)
+                if parent_manager is not None:
+                    parent_manager.absorb(worker_manager)
                 local_report.merge(
                     CompileReport(timings=dict(local_timing.timings)),
                     renumber_timings=False)
@@ -929,6 +1010,11 @@ class PassManager(OpPassManager):
             for instrumentation in instrumentations:
                 instrumentation.run_before_pass(pass_, op)
         pass_.run(op, report)
+        # The pass may have mutated the anchor (and anything below it):
+        # evict stale analyses unless the pass declared them preserved.
+        manager = current_analysis_manager()
+        if manager is not None:
+            manager.invalidate(op, pass_.preserves())
         try:
             with hook_lock:
                 for instrumentation in reversed(instrumentations):

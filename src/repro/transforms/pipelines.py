@@ -503,6 +503,30 @@ def parse_pass_pipeline(spec: str) -> PassManager:
     return _PipelineParser(spec).parse()
 
 
+def check_pass_pipeline(spec: str, filename: str = "<pipeline>"):
+    """Statically validate ``spec`` without building or running anything.
+
+    Returns a list of :class:`~repro.ir.diagnostics.Diagnostic` objects —
+    empty when the spec is well-formed.  Malformed specs yield an error
+    diagnostic whose location points at the offending *character offset*
+    (column) inside the spec, so drivers can report
+    ``<pipeline>:1:17: error: ...`` before any IR is touched.
+    """
+    from ..ir import Diagnostic, Location, Severity, UNKNOWN
+
+    try:
+        _PipelineParser(spec).parse().close()
+    except PipelineParseError as exc:
+        location = Location(filename, 1, exc.offset + 1) \
+            if exc.offset is not None else UNKNOWN
+        return [Diagnostic(Severity.ERROR, str(exc), location)]
+    except ValueError as exc:
+        # Well-formed syntax but an unknown pass name / bad option value.
+        return [Diagnostic(Severity.ERROR, str(exc),
+                           Location(filename, 1, 1))]
+    return []
+
+
 def dump_pass_pipeline(pipeline: OpPassManager) -> str:
     """Canonical textual form of ``pipeline``.
 

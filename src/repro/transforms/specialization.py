@@ -1,97 +1,24 @@
-"""JIT-time kernel specialization (AdaptiveCpp baseline modeling).
+"""Runtime-checked alias analysis (AdaptiveCpp JIT baseline modeling).
 
-AdaptiveCpp's single-pass (SSCP) flow postpones the second compilation step
-to kernel launch time, which lets it specialize the kernel on *runtime*
-values: the ND-range, scalar arguments and the actual accessor/buffer
-pointers (paper, Section IX).  This module implements that specialization as
-a transformation applied to a kernel clone at launch time by the
-AdaptiveCpp compiler model:
+AdaptiveCpp's single-pass (SSCP) flow postpones the second compilation
+step to kernel launch time, when the actual accessor/buffer pointers are
+known; kernels whose underlying allocations are observed disjoint carry an
+``acpp.runtime_noalias_args`` attribute and downstream passes
+(LICM / detect-reduction via ``alias=runtime-checked``) may trust it,
+modeling LLVM's runtime alias-check versioning (paper, Section IX).
 
-* global/local/group range queries are folded to the launch's ND-range;
-* scalar arguments are replaced by their runtime values;
-* accessor arguments whose underlying allocations are disjoint at runtime
-  are recorded in ``acpp.runtime_noalias_args`` — downstream passes
-  (LICM / detect-reduction) may use a runtime-checked alias analysis that
-  consults this attribute, modeling LLVM's runtime alias-check versioning.
+The launch-time kernel *specialization* rewrites that used to live here
+(``specialize_kernel``: ND-range query folding, scalar-argument
+constant-folding) were quarantined in PR 6: no shipped pipeline or driver
+reached them (the ``repro-lint`` dead-code posture applied to our own
+code).  ``git log`` has the implementation should a JIT driver grow back.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
-
-from ..ir import ArrayAttr, Builder, InsertionPoint, IntegerAttr, Value, i64
-from ..dialects import arith
+from ..ir import ArrayAttr, BlockArgument, IntegerAttr, Value
 from ..dialects.func import FuncOp
 from ..analysis.alias import AliasAnalysis, AliasResult, underlying_object
-from ..ir import BlockArgument
-from .pass_manager import CompileReport
-from .host_device import HostDeviceOptimizationPass
-
-
-def _fold_queries(kernel: FuncOp, op_names: Sequence[str],
-                  sizes: Tuple[int, ...]) -> int:
-    replaced = 0
-    for op in list(kernel.walk()):
-        if op.parent is None or op.OPERATION_NAME not in op_names:
-            continue
-        dim_value = op.dimension
-        if dim_value is None:
-            continue
-        dim = arith.constant_value_of(dim_value)
-        if dim is None or int(dim) >= len(sizes):
-            continue
-        constant = arith.ConstantOp.build(sizes[int(dim)], op.results[0].type)
-        op.parent.insert_before(op, constant)
-        op.replace_all_uses_with([constant.result])
-        op.erase()
-        replaced += 1
-    return replaced
-
-
-def specialize_kernel(kernel: FuncOp,
-                      global_size: Optional[Tuple[int, ...]],
-                      local_size: Optional[Tuple[int, ...]],
-                      scalar_arguments: Optional[Dict[int, object]] = None,
-                      disjoint_accessor_args: Optional[Sequence[int]] = None,
-                      report: Optional[CompileReport] = None) -> int:
-    """Specialize ``kernel`` in place on runtime launch information.
-
-    ``scalar_arguments`` maps kernel argument indices to runtime values;
-    ``disjoint_accessor_args`` lists argument indices whose underlying
-    buffers were observed to be pairwise disjoint at launch time.
-    Returns the number of rewrites performed.
-    """
-    rewrites = 0
-    if global_size:
-        rewrites += _fold_queries(
-            kernel, HostDeviceOptimizationPass._GLOBAL_RANGE_QUERIES, global_size)
-    if local_size:
-        rewrites += _fold_queries(
-            kernel, HostDeviceOptimizationPass._LOCAL_RANGE_QUERIES, local_size)
-    if global_size and local_size and len(global_size) == len(local_size):
-        group_range = tuple(g // l for g, l in zip(global_size, local_size))
-        rewrites += _fold_queries(
-            kernel, HostDeviceOptimizationPass._GROUP_RANGE_QUERIES, group_range)
-
-    for arg_index, value in (scalar_arguments or {}).items():
-        if arg_index >= len(kernel.arguments):
-            continue
-        argument = kernel.arguments[arg_index]
-        if not argument.has_uses() or not isinstance(value, (int, float, bool)):
-            continue
-        builder = Builder(InsertionPoint(kernel.body, 0))
-        constant = builder.insert(arith.ConstantOp.build(value, argument.type))
-        argument.replace_all_uses_with(constant.result)
-        rewrites += 1
-
-    if disjoint_accessor_args:
-        kernel.set_attr("acpp.runtime_noalias_args", ArrayAttr(tuple(
-            IntegerAttr(int(i), i64()) for i in sorted(disjoint_accessor_args))))
-        rewrites += 1
-
-    if report is not None and rewrites:
-        report.add_statistic("jit-specialization", "rewrites", rewrites)
-    return rewrites
 
 
 class RuntimeCheckedAliasAnalysis(AliasAnalysis):

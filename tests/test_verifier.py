@@ -1,0 +1,190 @@
+"""Every verifier diagnostic, exercised with and without locations.
+
+The PR-6 verifier reports findings as source-located
+:class:`~repro.ir.Diagnostic` objects while keeping the classic
+``verify()`` message strings byte-stable.  Each structural invariant gets
+a test: per-op ``verify_op`` failures, terminator position, SINGLE_BLOCK
+regions and operand dominance (including the attached defining-op note).
+"""
+
+import pytest
+
+from repro.dialects import arith, func, memref, scf, sycl
+from repro.ir import (
+    Block,
+    Builder,
+    DiagnosticEngine,
+    InsertionPoint,
+    Operation,
+    Severity,
+    VerificationError,
+    i1,
+    i32,
+    parse_module,
+    verify,
+    verify_with_diagnostics,
+)
+from repro.ir.types import MemRefType
+
+from .helpers import wrap_in_module
+
+
+def _empty_func(name="f", arg_types=(), arg_names=None):
+    return func.FuncOp.build(name, list(arg_types), arg_names=arg_names)
+
+
+class BadOp(Operation):
+    """Test-only op whose per-op verifier always rejects."""
+
+    OPERATION_NAME = "test.bad"
+
+    def verify_op(self):
+        raise ValueError("this op is always invalid")
+
+
+class TestVerifyOpHook:
+    def test_failing_verify_op_becomes_diagnostic(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(BadOp(operands=(), result_types=()))
+        body.insert(func.ReturnOp.build())
+        diagnostics = verify_with_diagnostics(f)
+        assert len(diagnostics) == 1
+        assert diagnostics[0].severity is Severity.ERROR
+        assert diagnostics[0].message == "test.bad: this op is always invalid"
+
+    def test_verify_raises_with_diagnostics_attached(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(BadOp(operands=(), result_types=()))
+        body.insert(func.ReturnOp.build())
+        with pytest.raises(VerificationError) as excinfo:
+            verify(f)
+        assert "test.bad: this op is always invalid" in str(excinfo.value)
+        assert len(excinfo.value.diagnostics) == 1
+
+    def test_verify_without_raise_returns_messages(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(BadOp(operands=(), result_types=()))
+        body.insert(func.ReturnOp.build())
+        messages = verify(f, raise_on_error=False)
+        assert messages == ["test.bad: this op is always invalid"]
+
+
+class TestTerminatorPosition:
+    def test_terminator_not_last_is_reported(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(func.ReturnOp.build())
+        body.insert(arith.ConstantOp.build(1, i32()))
+        diagnostics = verify_with_diagnostics(f)
+        assert any(
+            "func.return: terminator must be the last operation" in d.message
+            for d in diagnostics)
+
+    def test_terminator_in_last_position_is_clean(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(arith.ConstantOp.build(1, i32()))
+        body.insert(func.ReturnOp.build())
+        assert verify_with_diagnostics(f) == []
+
+
+class TestSingleBlockRegions:
+    def test_extra_block_in_single_block_region_is_reported(self):
+        f = _empty_func("g", [i1()], arg_names=["cond"])
+        (cond,) = f.arguments
+        body = Builder(InsertionPoint.at_end(f.body))
+        if_op = body.insert(scf.IfOp.build(cond))
+        if_op.then_block.append(scf.YieldOp.build())
+        if_op.regions[0].add_block(Block())
+        body.insert(func.ReturnOp.build())
+        diagnostics = verify_with_diagnostics(f)
+        assert any(
+            "scf.if: expected a single block per region" in d.message
+            for d in diagnostics)
+
+
+class TestOperandDominance:
+    def test_use_before_def_in_same_block(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        c = body.insert(arith.ConstantOp.build(1, i32()))
+        add = body.insert(arith.AddIOp.build(c.result, c.result))
+        body.insert(func.ReturnOp.build())
+        add.move_before(c)
+        diagnostics = verify_with_diagnostics(f)
+        assert any("does not dominate its use" in d.message
+                   for d in diagnostics)
+
+    def test_sibling_region_escape_reports_error_and_note(self):
+        # The PR 5 miscompile shape: a pointer materialized inside one arm
+        # of an scf.if, used after the scf.if.
+        scalar = MemRefType((), i32())
+        f = _empty_func("k", [i1(), scalar, i32()],
+                        arg_names=["cond", "ptr", "v"])
+        cond, ptr, v = f.arguments
+        body = Builder(InsertionPoint.at_end(f.body))
+        if_op = body.insert(scf.IfOp.build(cond))
+        pointer = sycl.SYCLAccessorGetPointerOp.build(ptr)
+        if_op.then_block.append(pointer)
+        if_op.then_block.append(scf.YieldOp.build())
+        zero = body.insert(arith.ConstantOp.build(0, i32()))
+        store = body.insert(memref.StoreOp.build(
+            v, pointer.result, [zero.result]))
+        body.insert(func.ReturnOp.build())
+        del store
+        diagnostics = verify_with_diagnostics(f)
+        dominance = [d for d in diagnostics
+                     if "does not dominate its use" in d.message]
+        assert len(dominance) == 1
+        notes = dominance[0].notes
+        assert len(notes) == 1
+        assert "sycl.accessor.get_pointer" in notes[0].message
+
+    def test_textual_dominance_violation_carries_location(self):
+        text = (
+            '"builtin.module"() : () -> () ({\n'
+            '  "func.func"() {function_type = (memref<i32>, i32) -> (), '
+            'sym_name = "k", sym_visibility = "public"} : () -> () ({\n'
+            '   ^bb0(%ptr: memref<i32>, %v: i32):\n'
+            '    "memref.store"(%v, %p) : (i32, memref<i32>) -> ()\n'
+            '    %p = "sycl.accessor.get_pointer"(%ptr) : '
+            '(memref<i32>) -> (memref<i32>)\n'
+            '    "func.return"() : () -> ()\n'
+            '  })\n'
+            '})\n')
+        module = parse_module(text, filename="test.mlir")
+        diagnostics = verify_with_diagnostics(module)
+        located = [d for d in diagnostics
+                   if "does not dominate its use" in d.message]
+        assert len(located) == 1
+        assert located[0].location.describe() == "test.mlir:4:5"
+        assert located[0].notes[0].location.describe() == "test.mlir:5:5"
+
+
+class TestEngineIntegration:
+    def test_diagnostics_emitted_into_engine(self):
+        f = _empty_func()
+        body = Builder(InsertionPoint.at_end(f.body))
+        body.insert(BadOp(operands=(), result_types=()))
+        body.insert(func.ReturnOp.build())
+        engine = DiagnosticEngine()
+        with engine.capture() as captured:
+            returned = verify_with_diagnostics(f, engine)
+        assert captured == returned
+        assert engine.error_count == 1
+
+    def test_clean_module_emits_nothing(self):
+        module = wrap_in_module(_empty_func_with_return())
+        engine = DiagnosticEngine()
+        with engine.capture() as captured:
+            verify_with_diagnostics(module, engine)
+        assert captured == []
+
+
+def _empty_func_with_return():
+    f = _empty_func()
+    Builder(InsertionPoint.at_end(f.body)).insert(func.ReturnOp.build())
+    return f
