@@ -66,13 +66,14 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
         seconds = record.get("seconds")
         if name is not None and seconds is not None:
             scenarios[f"interp/{name}"] = seconds
-    static = results.get("static", {})
-    for record in static.get("records", ()):
-        # Names already carry their family prefix ("lint/listing-sweep").
-        name = record.get("name")
-        seconds = record.get("seconds")
-        if name is not None and seconds is not None:
-            scenarios[name] = seconds
+    # Families whose record names already carry their prefix
+    # ("lint/listing-sweep", "process/splice-jobs4").
+    for family in ("static", "process"):
+        for record in results.get(family, {}).get("records", ()):
+            name = record.get("name")
+            seconds = record.get("seconds")
+            if name is not None and seconds is not None:
+                scenarios[name] = seconds
     return scenarios
 
 

@@ -253,6 +253,134 @@ def bench_static(repeats: int = 3, num_ops: int = 8000,
     }
 
 
+def bench_process(repeats: int = 3, jobs: int = 4,
+                  num_functions: int = 64, num_ops: int = 4000,
+                  num_segments: int = 6, segment_ops: int = 1500,
+                  seed: int = 0) -> Dict:
+    """The BENCH_7 scenario family: the supervised process tier.
+
+    Four scenarios, all on the BENCH_4 concurrency shapes:
+
+    * ``process/serial`` — the serial baseline (same module, jobs=1);
+    * ``process/splice-jobs{N}`` — function-splice mode: per-function
+      text ships to worker processes, results re-parse and splice back
+      (byte-identical to serial by contract);
+    * ``process/batch-serial`` vs ``process/batch-jobs{N}`` — whole
+      segments compiled in workers, the parent only stitching printed
+      text (the ``repro-opt --split-input-file --parallel-tier
+      process`` path, and the first target for real multi-core wins);
+    * ``process/splice-faulty`` — splice mode with one injected
+      transient worker fault, pricing a supervised recovery.
+
+    ``cpu_count`` is recorded alongside: on a single-CPU host the
+    process tier cannot beat serial (transport is pure overhead), and
+    the honest sub-1x numbers only mean something next to the core
+    count they were measured on.
+    """
+    import os
+
+    from repro.faults import fault_plan
+    from repro.transforms.executor import (
+        ExecutorOptions,
+        SupervisedExecutor,
+        WorkUnit,
+        validate_segment_result,
+    )
+
+    config = GeneratorConfig(num_ops=num_ops, num_kernels=num_functions,
+                             nesting_depth=1, seed=seed)
+    records: List[Dict] = []
+
+    serial_manager = parse_pass_pipeline(CONCURRENCY_PIPELINE)
+    try:
+        serial = _time(lambda m: serial_manager.run(m), repeats,
+                       setup=lambda: generate_module(config))
+    finally:
+        serial_manager.close()
+    records.append({"name": "process/serial", "seconds": serial})
+
+    def process_manager():
+        manager = parse_pass_pipeline(CONCURRENCY_PIPELINE)
+        manager.jobs = jobs
+        manager.tier = "process"
+        return manager
+
+    manager = process_manager()
+    try:
+        splice = _time(lambda m: manager.run(m), repeats,
+                       setup=lambda: generate_module(config))
+    finally:
+        manager.close()
+    records.append({"name": f"process/splice-jobs{jobs}",
+                    "seconds": splice})
+
+    # Batch-segment mode: one printed module per segment, compiled
+    # whole in a worker; serial reference is the same parse/run/print
+    # loop in-process.
+    segment_texts = [
+        Printer().print_module(generate_module(GeneratorConfig(
+            num_ops=segment_ops, num_kernels=4, nesting_depth=1,
+            seed=seed + index))) + "\n"
+        for index in range(num_segments)
+    ]
+
+    def compile_batch_serial() -> None:
+        manager = parse_pass_pipeline(CONCURRENCY_PIPELINE)
+        try:
+            for text in segment_texts:
+                module = parse_module(text)
+                manager.run(module)
+                Printer().print_module(module)
+        finally:
+            manager.close()
+
+    batch_serial = _time(compile_batch_serial, repeats)
+    records.append({"name": "process/batch-serial",
+                    "seconds": batch_serial})
+
+    spec = CONCURRENCY_PIPELINE
+
+    def compile_batch_process() -> None:
+        executor = SupervisedExecutor(ExecutorOptions(jobs=jobs))
+        try:
+            units = [WorkUnit(uid=index, label=f"segment{index}",
+                              kind="segment", text=text, spec=spec)
+                     for index, text in enumerate(segment_texts)]
+            executor.run_units(
+                units, validate_segment_result,
+                lambda unit, attempts, events: (_ for _ in ()).throw(
+                    RuntimeError("benchmark unit degraded")))
+        finally:
+            executor.close()
+
+    batch_process = _time(compile_batch_process, repeats)
+    records.append({"name": f"process/batch-jobs{jobs}",
+                    "seconds": batch_process})
+
+    manager = process_manager()
+    try:
+        with fault_plan("executor.worker=transient"):
+            faulty = _time(lambda m: manager.run(m), 1,
+                           setup=lambda: generate_module(config))
+    finally:
+        manager.close()
+    records.append({"name": "process/splice-faulty", "seconds": faulty})
+
+    return {
+        "config": config.describe(),
+        "pipeline": CONCURRENCY_PIPELINE,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "num_segments": num_segments,
+        "records": records,
+        "speedup_vs_serial": {
+            f"splice-jobs{jobs}": (serial / splice) if splice > 0 else 0.0,
+            f"batch-jobs{jobs}": (batch_serial / batch_process)
+            if batch_process > 0 else 0.0,
+        },
+    }
+
+
 def run_concurrency_suite(repeats: int = 3, jobs_list=DEFAULT_JOBS,
                           num_functions: int = 64,
                           num_ops: int = 4000, seed: int = 0) -> Dict:
@@ -274,7 +402,9 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               concurrency_functions: int = 64,
               concurrency_ops: int = 4000,
               interp: bool = False, interp_smoke: bool = False,
-              static: bool = False) -> Dict:
+              static: bool = False, process: bool = False,
+              process_jobs: int = 4, process_segments: int = 6,
+              process_segment_ops: int = 1500) -> Dict:
     records: List[Dict] = []
     for size in sizes:
         config = GeneratorConfig(
@@ -302,6 +432,12 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
                                              smoke=interp_smoke)
     if static:
         results["static"] = bench_static(repeats=repeats, seed=seed)
+    if process:
+        results["process"] = bench_process(
+            repeats=repeats, jobs=process_jobs,
+            num_functions=concurrency_functions,
+            num_ops=concurrency_ops, num_segments=process_segments,
+            segment_ops=process_segment_ops, seed=seed)
     return results
 
 
@@ -332,6 +468,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run the lint-sweep / analysis-manager "
                              "warm-vs-cold scenario family (the BENCH_6 "
                              "scenarios)")
+    parser.add_argument("--process", action="store_true",
+                        help="also run the supervised process-tier "
+                             "scenario family (the BENCH_7 scenarios)")
     parser.add_argument("--jobs-list", default=None, metavar="N,N,...",
                         help="job counts for the parallel scenario "
                              f"(default: {','.join(map(str, DEFAULT_JOBS))})")
@@ -349,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         check = True
         concurrency_functions = min(args.functions, 8)
         concurrency_ops = 600
+        process_segments = 2
+        process_segment_ops = 300
     else:
         sizes = ([int(s) for s in args.sizes.split(",")]
                  if args.sizes else list(DEFAULT_SIZES))
@@ -356,6 +497,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         check = False
         concurrency_functions = args.functions
         concurrency_ops = 4000
+        process_segments = 6
+        process_segment_ops = 1500
     jobs_list = ([int(j) for j in args.jobs_list.split(",")]
                  if args.jobs_list else list(DEFAULT_JOBS))
 
@@ -365,7 +508,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         concurrency_functions=concurrency_functions,
                         concurrency_ops=concurrency_ops,
                         interp=args.interp, interp_smoke=args.smoke,
-                        static=args.static)
+                        static=args.static, process=args.process,
+                        process_segments=process_segments,
+                        process_segment_ops=process_segment_ops)
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             results["baseline"] = json.load(handle)
@@ -401,6 +546,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             line = summarize(results)
             if line:
                 summary.append(line)
+        if "process" in results:
+            process = results["process"]
+            timings = {record["name"]: record["seconds"]
+                       for record in process["records"]}
+            speedups = process["speedup_vs_serial"]
+            jobs = process["jobs"]
+            summary.append(
+                f"process tier (jobs={jobs}, "
+                f"{process['cpu_count']} cpu): "
+                f"serial {timings['process/serial']:.4f}s, "
+                f"splice {timings[f'process/splice-jobs{jobs}']:.4f}s "
+                f"({speedups[f'splice-jobs{jobs}']:.2f}x), "
+                f"batch {timings[f'process/batch-jobs{jobs}']:.4f}s "
+                f"({speedups[f'batch-jobs{jobs}']:.2f}x)")
         if "static" in results:
             static = results["static"]
             timings = {record["name"]: record["seconds"]

@@ -54,6 +54,28 @@ class Diagnostic:
         self.notes.append(Diagnostic(Severity.REMARK, message, location))
         return self
 
+    def to_payload(self) -> dict:
+        """A picklable/JSON-able dict form for crossing process
+        boundaries (the process-parallel executor ships worker failures
+        as payloads, not exception objects — worker-side exception types
+        may not unpickle in the parent)."""
+        return {
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": [self.location.filename, self.location.line,
+                         self.location.column],
+            "notes": [note.to_payload() for note in self.notes],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_payload` output."""
+        filename, line, column = payload.get("location") or ("", 0, 0)
+        return cls(Severity(payload["severity"]), payload["message"],
+                   Location(filename, line, column),
+                   [cls.from_payload(note)
+                    for note in payload.get("notes", ())])
+
     def render(self) -> str:
         """``file:line:col: severity: message`` plus indented notes."""
         lines = [f"{self.location.describe()}: {self.severity}: "

@@ -85,6 +85,16 @@ _FLOAT_TYPE_RE = re.compile(r"f(\d+)$")
 _DIM_RE = re.compile(r"(\?|\d+)x")
 
 
+def _keepable_hint(name: str) -> Optional[str]:
+    """The parsed SSA name as a ``name_hint``, or ``None`` for ``%0``-style
+    purely numeric names.  MLIR never preserves numeric SSA names — the
+    printer renumbers anonymous values contiguously — and baking a parsed
+    ``%7`` in as a permanent hint would freeze stale numbering across a
+    parse/optimize/print round trip (optimizations that erase values
+    would leave gaps serial compilation does not produce)."""
+    return None if name.isdigit() else name
+
+
 class _Scope:
     """One SSA name scope; ``isolated`` scopes stop outward name lookup."""
 
@@ -208,7 +218,8 @@ class Parser:
         scope = self._scopes[-1]
         if name not in scope.forward:
             pos = use_pos if use_pos is not None else self.pos
-            scope.forward[name] = (Value(declared, name_hint=name), pos)
+            scope.forward[name] = (
+                Value(declared, name_hint=_keepable_hint(name)), pos)
         return scope.forward[name][0]
 
     def _close_scope(self) -> None:
@@ -256,7 +267,7 @@ class Parser:
 
         op = self._create_operation(op_name, operands, out_types, attributes)
         for res, name in zip(op.results, result_names):
-            res.name_hint = name
+            res.name_hint = _keepable_hint(name)
             self._define_value(name, res)
 
         if self._peek("["):
@@ -444,7 +455,8 @@ class Parser:
                     if name is None:
                         self.error("expected a block argument name")
                     self._expect(":", "after the block argument name")
-                    arg = block.add_argument(self.parse_type(), name)
+                    arg = block.add_argument(self.parse_type(),
+                                             _keepable_hint(name))
                     self._define_value(name, arg)
                     if not self._consume(","):
                         break

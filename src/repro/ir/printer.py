@@ -51,10 +51,15 @@ class Printer:
         return self._names[key]
 
     def _uniqued(self, base: str) -> str:
+        # Collision suffixes draw on a per-base counter, not the shared
+        # anonymous id — a colliding hint must not shift the contiguous
+        # %0, %1, ... numbering of anonymous values, or printing would
+        # not be stable under a parse/print round trip.
         name = base
+        suffix = 0
         while name in self._used:
-            name = f"{base}_{self._next_id}"
-            self._next_id += 1
+            name = f"{base}_{suffix}"
+            suffix += 1
         return name
 
     def _next_anonymous(self) -> str:

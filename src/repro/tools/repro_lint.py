@@ -71,6 +71,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: :func:`_main` plus graceful Ctrl-C (exit 130,
+    no traceback, no orphaned workers)."""
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("repro-lint: interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
     if args.list_rules:

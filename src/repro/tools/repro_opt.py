@@ -58,7 +58,14 @@ from ..ir import (
     verify_with_diagnostics,
 )
 from ..analysis.lint import run_lint
-from ..transforms.compile_cache import CompileCache
+from ..transforms.compile_cache import CompileCache, text_fingerprint
+from ..transforms.executor import (
+    ExecutorOptions,
+    TierError,
+    WorkResult,
+    WorkUnit,
+    validate_segment_result,
+)
 from ..transforms.pass_manager import (
     CompileReport,
     IRPrintingInstrumentation,
@@ -95,6 +102,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="run func.func-anchored pipelines once per function across "
              "N worker threads (default 1 = serial)")
+    parser.add_argument(
+        "--parallel-tier", default="thread", choices=("thread", "process"),
+        help="worker tier for --jobs N: 'thread' (shared-memory, "
+             "GIL-bound) or 'process' (supervised worker processes; "
+             "batches ship whole segments, otherwise functions are "
+             "shipped as text and spliced back)")
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-work-unit wall-clock deadline on the process tier "
+             "before a worker is presumed hung and the pool restarted "
+             "(default 60)")
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the fingerprint-keyed compile cache shared across "
@@ -282,6 +300,21 @@ def _match_expected(expected, captured) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: :func:`_main` plus graceful Ctrl-C.
+
+    A ``KeyboardInterrupt`` anywhere in the run (including inside a
+    worker-pool wait) unwinds through ``_main``'s ``finally`` — which
+    terminates any process-tier workers, so an interrupt never orphans
+    them — and exits with the conventional 130, no traceback.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("repro-opt: interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
     if args.list_passes:
@@ -312,18 +345,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-opt: cannot read input: {exc}", file=sys.stderr)
         return 1
 
-    modules = []
-    for label, text in segments:
-        try:
-            # Parse under the real file name so every op carries a
-            # file:line:col location diagnostics can point at.
-            modules.append(parse_module(
-                text, allow_unregistered=args.allow_unregistered,
-                filename=label.split(" (segment")[0]))
-        except ParseError as exc:
-            print(f"repro-opt: {label}: parse error: {exc}", file=sys.stderr)
-            return 1
-
     engine = DiagnosticEngine() if args.verify_diagnostics else None
 
     try:
@@ -337,6 +358,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro-opt: {exc}", file=sys.stderr)
         return 2
+    if manager is not None:
+        manager.tier = args.parallel_tier
+        if args.deadline is not None:
+            manager.executor_options = ExecutorOptions(
+                jobs=args.jobs, deadline=args.deadline)
 
     cache = None
     lint_each = None
@@ -362,72 +388,146 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print_after=print_after))
         if args.dump_pass_pipeline:
             print(dump_pass_pipeline(manager), file=sys.stderr)
+        # Whole segments are shipped to worker processes when the batch
+        # can run hands-off: no instrumentation, no diagnostics
+        # verification, no parent-side lint — workers parse, verify,
+        # compile and print, the parent only stitches text.
+        use_batch_process = (
+            args.parallel_tier == "process" and args.jobs > 1
+            and len(segments) > 1 and engine is None and not args.lint
+            and not manager.instrumentations)
         # A cache can only hit across segments of one invocation, and an
         # instrumented manager never consults it (hits would swallow
         # --verify-each / --print-ir output) — create one only when it
         # can actually serve, so --report never shows a dead cache.
+        # (The process batch path dedupes identical segments itself.)
         if not args.no_cache and len(segments) > 1 \
-                and not manager.instrumentations:
+                and not manager.instrumentations and not use_batch_process:
             cache = CompileCache()
             manager.cache = cache
+    else:
+        use_batch_process = False
 
     # One report aggregates the whole batch: every segment runs the same
     # pipeline, so position-keyed timing buckets sum across segments.
     report = CompileReport() if manager is not None else None
     printed: List[str] = []
+    #: Worst per-segment exit code (batch isolation: one broken segment
+    #: fails the invocation, not the batch).
+    exit_code = 0
     lint_findings = 0
     expectation_problems: List[str] = []
-    try:
-        for (label, text), module in zip(segments, modules):
-            if engine is not None:
-                # --verify-diagnostics: capture everything the segment
-                # emits (verifier, lint) and check it against the
-                # expected-* comments; broken IR is the expected case
-                # here, so verification failures do not abort the batch.
-                with engine.capture() as captured:
-                    broken = False
-                    if not args.no_verify:
-                        broken = bool(verify_with_diagnostics(module, engine))
-                    if manager is not None and not broken:
-                        try:
-                            manager.run(module, report=report)
-                        except ValueError as exc:
-                            print(f"repro-opt: {label}: {exc}",
-                                  file=sys.stderr)
-                            return 2
-                        if not args.no_verify:
-                            verify_with_diagnostics(module, engine)
-                    if args.lint and not broken:
-                        run_lint(module, am=_analysis_manager_of(manager),
-                                 engine=engine)
-                expectation_problems.extend(
-                    f"{label}: {problem}" for problem in
-                    _match_expected(_collect_expected(text), captured))
-                continue
-            try:
-                if not args.no_verify:
-                    verify(module)
-                if manager is not None:
-                    manager.run(module, report=report)
-                if not args.no_verify:
-                    verify(module)
-            except VerificationError as exc:
-                print(f"repro-opt: {label}: verification failed: {exc}",
+    batch = len(segments) > 1
+
+    def compile_one(label: str,
+                    text: str) -> Tuple[int, Optional[str]]:
+        """Parse, verify, compile and print one segment in-process.
+
+        Returns ``(exit code, printed text or None)``; failures are
+        reported to stderr with their location, never raised — the
+        caller decides whether a bad segment aborts (single input) or
+        is isolated (batch).
+        """
+        nonlocal lint_findings
+        try:
+            # Parse under the real file name so every op carries a
+            # file:line:col location diagnostics can point at.
+            module = parse_module(
+                text, allow_unregistered=args.allow_unregistered,
+                filename=label.split(" (segment")[0])
+        except ParseError as exc:
+            print(f"repro-opt: {label}: parse error: {exc}",
+                  file=sys.stderr)
+            return 1, None
+        try:
+            if not args.no_verify:
+                verify(module)
+            if manager is not None:
+                manager.run(module, report=report)
+            if not args.no_verify:
+                verify(module)
+        except VerificationError as exc:
+            print(f"repro-opt: {label}: verification failed: {exc}",
+                  file=sys.stderr)
+            return 1, None
+        except ValueError as exc:
+            print(f"repro-opt: {label}: {exc}", file=sys.stderr)
+            return 2, None
+        if args.lint:
+            findings = run_lint(module,
+                                am=_analysis_manager_of(manager))
+            for diagnostic in findings:
+                print(f"repro-opt: {label}: {diagnostic.render()}",
                       file=sys.stderr)
-                return 1
-            except ValueError as exc:
-                print(f"repro-opt: {label}: {exc}", file=sys.stderr)
-                return 2
-            if args.lint:
-                findings = run_lint(module,
-                                    am=_analysis_manager_of(manager))
-                for diagnostic in findings:
-                    print(f"repro-opt: {label}: {diagnostic.render()}",
-                          file=sys.stderr)
-                lint_findings += len(findings)
-            printed.append(
-                Printer(print_locations=args.print_locations)
-                .print_module(module) + "\n")
+            lint_findings += len(findings)
+        return 0, (Printer(print_locations=args.print_locations)
+                   .print_module(module) + "\n")
+
+    try:
+        if use_batch_process:
+            try:
+                printed, exit_code = _run_batch_process(
+                    args, manager, segments, report, compile_one)
+            except TierError as exc:
+                # The tier itself cannot make progress (pool unbuildable,
+                # rebuild budget exhausted): degrade the whole batch to
+                # the in-process path below.
+                report.remark(
+                    f"process-tier: degraded to in-process batch: {exc}")
+                report.add_statistic("process-tier", "degraded", 1)
+                use_batch_process = False
+                printed = []
+                exit_code = 0
+        if not use_batch_process:
+            for label, text in segments:
+                if engine is not None:
+                    # --verify-diagnostics: capture everything the
+                    # segment emits (verifier, lint) and check it
+                    # against the expected-* comments; broken IR is the
+                    # expected case here, so verification failures do
+                    # not abort the batch.
+                    try:
+                        module = parse_module(
+                            text,
+                            allow_unregistered=args.allow_unregistered,
+                            filename=label.split(" (segment")[0])
+                    except ParseError as exc:
+                        print(f"repro-opt: {label}: parse error: {exc}",
+                              file=sys.stderr)
+                        return 1
+                    with engine.capture() as captured:
+                        broken = False
+                        if not args.no_verify:
+                            broken = bool(
+                                verify_with_diagnostics(module, engine))
+                        if manager is not None and not broken:
+                            try:
+                                manager.run(module, report=report)
+                            except ValueError as exc:
+                                print(f"repro-opt: {label}: {exc}",
+                                      file=sys.stderr)
+                                return 2
+                            if not args.no_verify:
+                                verify_with_diagnostics(module, engine)
+                        if args.lint and not broken:
+                            run_lint(module,
+                                     am=_analysis_manager_of(manager),
+                                     engine=engine)
+                    expectation_problems.extend(
+                        f"{label}: {problem}" for problem in
+                        _match_expected(_collect_expected(text), captured))
+                    continue
+                rc, out = compile_one(label, text)
+                if rc and not batch:
+                    return rc
+                if out is None:
+                    # Batch isolation: a broken segment reports, leaves
+                    # a placeholder so output stays aligned with input
+                    # order, and does not abort the rest of the batch.
+                    printed.append(f"// {label}: FAILED\n")
+                    exit_code = max(exit_code, rc)
+                else:
+                    printed.append(out)
     finally:
         if manager is not None:
             manager.close()
@@ -456,7 +556,100 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
     if args.timing and report is not None:
         print(_format_timing_table(report.timings), file=sys.stderr)
-    return 1 if lint_findings else 0
+    return max(exit_code, 1 if lint_findings else 0)
+
+
+def _run_batch_process(args, manager, segments, report,
+                       compile_one) -> Tuple[List[str], int]:
+    """Compile batch segments as whole-module units on the process tier.
+
+    Workers parse, verify, compile and print; the parent stitches the
+    printed text back in input order (no splice, no parent-side parse).
+    Identical segment texts are deduplicated — the first occurrence is
+    shipped, duplicates reuse its result (the batch cache, moved to the
+    dispatch layer).  A segment whose worker fails deterministically
+    (parse error, verification failure, pass error) degrades to
+    ``compile_one`` in the parent, which reports the error with native
+    semantics and yields the batch-isolation placeholder; supervised
+    faults (crash/hang/corrupt/transient) are retried per the executor
+    policy.  Raises :class:`TierError` only when the tier as a whole
+    cannot make progress.
+    """
+    spec = f"pipeline:{args.pipeline}" if args.pipeline \
+        else dump_pass_pipeline(manager)
+    units: List[WorkUnit] = []
+    first_uid: dict = {}
+    alias: dict = {}
+    for uid, (label, text) in enumerate(segments):
+        fingerprint = text_fingerprint(text)
+        if fingerprint in first_uid:
+            alias[uid] = first_uid[fingerprint]
+            continue
+        first_uid[fingerprint] = uid
+        units.append(WorkUnit(
+            uid=uid, label=label, kind="segment", text=text, spec=spec,
+            verify=not args.no_verify,
+            print_locations=args.print_locations,
+            filename=label.split(" (segment")[0]))
+
+    fallback_rcs: dict = {}
+    fallback_texts: dict = {}
+
+    def serial_fallback(unit: WorkUnit, attempts: int,
+                        events: List[str]) -> WorkResult:
+        rc, out = compile_one(unit.label, unit.text)
+        fallback_rcs[unit.uid] = rc
+        fallback_texts[unit.uid] = out
+        return WorkResult(unit=unit, text=out, attempts=max(1, attempts),
+                          degraded=True, events=events)
+
+    executor = manager.process_tier()
+    stats_before = dict(executor.stats)
+    events_before = len(executor.events)
+    results = executor.run_units(units, validate_segment_result,
+                                 serial_fallback)
+
+    printed: List[str] = []
+    exit_code = 0
+    for uid, (label, text) in enumerate(segments):
+        result = results.get(alias.get(uid, uid))
+        if result is None:  # pragma: no cover - run_units returns all
+            printed.append(f"// {label}: FAILED\n")
+            exit_code = max(exit_code, 1)
+            continue
+        rc = fallback_rcs.get(result.unit.uid, 0)
+        if result.text is None:
+            printed.append(f"// {label}: FAILED\n")
+            exit_code = max(exit_code, rc if rc else 1)
+        else:
+            printed.append(result.text)
+            exit_code = max(exit_code, rc)
+
+    # Fold the workers' reports and the supervision record into the
+    # batch report, in input order, so --report reads like a serial run
+    # plus a recovery log.
+    report.add_statistic("process-tier", "segments", len(units))
+    if alias:
+        report.add_statistic("process-tier", "deduped-segments",
+                             len(alias))
+    for unit in units:
+        result = results.get(unit.uid)
+        if result is None:
+            continue
+        for pass_name, name, value in result.statistics:
+            report.add_statistic(pass_name, name, value)
+        report.remarks.extend(result.remarks)
+        for key, seconds in result.timings.items():
+            report.timings[key] = report.timings.get(key, 0.0) + seconds
+        for event in result.events:
+            report.remark(f"process-tier: {event}")
+    for event in executor.events[events_before:]:
+        report.remark(f"process-tier: {event}")
+    for name, value in executor.stats.items():
+        delta = value - stats_before.get(name, 0)
+        if delta:
+            report.add_statistic("process-tier", name, delta)
+    return printed, exit_code
 
 
 def _analysis_manager_of(manager):

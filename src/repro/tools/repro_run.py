@@ -209,6 +209,20 @@ def _cost_report(counters, spec: DeviceSpec, kernel_launches: int) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: :func:`_main` plus graceful Ctrl-C.
+
+    Interrupts unwind through ``_main``'s cleanup (worker pools are
+    terminated, never waited on) and exit with the conventional 130,
+    no traceback.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("repro-run: interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
     if args.passes and args.pipeline:

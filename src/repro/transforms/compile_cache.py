@@ -124,6 +124,17 @@ class CompileCache:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
 
+    def evict(self, key: CacheKey) -> bool:
+        """Drop one entry (the self-healing path: a hit whose
+        clone/splice failed is evicted so the next compile runs cold
+        instead of re-serving the corrupt template)."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.stats.evictions += 1
+            return True
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

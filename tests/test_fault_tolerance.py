@@ -1,0 +1,472 @@
+"""Chaos suite: the fault-tolerance contract of the process tier.
+
+Every fault class the supervisor claims to survive is injected
+deterministically (:mod:`repro.faults`) at every injection point, under
+``jobs=4``, and the test asserts the *compile still succeeds with output
+byte-identical to a serial run* — recovery by bounded retry, by pool
+rebuild, or by degradation down the ladder (process → thread → serial),
+never by silent corruption and never by failing a compile serial would
+pass.  Batch-mode error isolation and the graceful-Ctrl-C contract of
+the CLIs ride along (see ``docs/robustness.md``).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.faults import (  # noqa: E402
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    TransientFault,
+    active_fault_plan,
+    fault_plan,
+    fault_point,
+    install_fault_plan,
+)
+from repro.ir import Printer, parse_module, verify  # noqa: E402
+from repro.transforms import (  # noqa: E402
+    CompileCache,
+    parse_pass_pipeline,
+)
+from repro.transforms.executor import ExecutorOptions  # noqa: E402
+from repro.tools import repro_lint, repro_opt, repro_run  # noqa: E402
+
+from .helpers import (  # noqa: E402
+    build_listing1_function,
+    build_listing2_function,
+    build_listing3_function,
+    wrap_in_module,
+)
+
+PIPELINE = "builtin.module(func.func(canonicalize,cse,dce))"
+
+#: Snappy supervision policy for tests: small backoff, tight deadline
+#: head-room (individual tests override the deadline where it matters).
+FAST = dict(jobs=4, deadline=30.0, max_retries=2, backoff=0.01)
+
+
+def _listing_module():
+    return wrap_in_module(*[build()[0] for build in (
+        build_listing1_function,
+        build_listing2_function,
+        build_listing3_function,
+    )])
+
+
+def _serial_print():
+    module = _listing_module()
+    manager = parse_pass_pipeline(PIPELINE)
+    try:
+        manager.run(module)
+    finally:
+        manager.close()
+    return Printer().print_module(module)
+
+
+def _process_manager(**overrides):
+    manager = parse_pass_pipeline(PIPELINE)
+    manager.jobs = 4
+    manager.tier = "process"
+    options = dict(FAST)
+    options.update(overrides)
+    manager.executor_options = ExecutorOptions(**options)
+    return manager
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    yield
+    install_fault_plan(None)
+
+
+@pytest.fixture(scope="module")
+def serial_text():
+    return _serial_print()
+
+
+def _run_process(serial_text, spec=None, **overrides):
+    """Compile the listing module on the process tier (under ``spec``
+    as the active fault plan) and assert byte-identity with serial."""
+    module = _listing_module()
+    manager = _process_manager(**overrides)
+    try:
+        if spec is not None:
+            install_fault_plan(FaultPlan.parse(spec))
+        report = manager.run(module)
+    finally:
+        install_fault_plan(None)
+        manager.close()
+    assert Printer().print_module(module) == serial_text
+    return report
+
+
+def _stat(report, pass_name, name):
+    return report.get_statistic(pass_name, name)
+
+
+class TestFaultPlan:
+    def test_parse_round_trips(self):
+        spec = ("executor.worker@foo:2=hang/30;compile-cache.hit=corrupt;"
+                "executor.worker:*=transient")
+        plan = FaultPlan.parse(spec)
+        assert plan.to_spec() == spec
+        rule = plan.rules[0]
+        assert (rule.point, rule.key, rule.occurrence, rule.kind,
+                rule.arg) == ("executor.worker", "foo", 2, "hang", "30")
+        assert plan.rules[2].occurrence is None
+
+    def test_unknown_kind_and_missing_point_raise(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("executor.worker=explode")
+        with pytest.raises(ValueError, match="lacks '=kind'"):
+            FaultPlan.parse("executor.worker")
+        with pytest.raises(ValueError, match="lacks a point name"):
+            FaultPlan.parse("=crash")
+
+    def test_occurrence_counters_are_per_key(self):
+        plan = FaultPlan.parse("p@b:1=transient")
+        assert plan.check("p", key="a") is None       # a: occurrence 0
+        assert plan.check("p", key="b") is None       # b: occurrence 0
+        rule = plan.check("p", key="b")               # b: occurrence 1
+        assert rule is not None and rule.kind == "transient"
+        assert [(f.key, f.occurrence) for f in plan.fires] == [("b", 1)]
+
+    def test_explicit_occurrence_overrides_counters(self):
+        plan = FaultPlan.parse("p@k:3=corrupt")
+        assert plan.check("p", key="k", occurrence=2) is None
+        assert plan.check("p", key="k", occurrence=3) is not None
+
+    def test_transient_raises_and_corrupt_returns(self):
+        with fault_plan("a=transient;b=corrupt") as plan:
+            with pytest.raises(TransientFault):
+                fault_point("a")
+            assert fault_point("b") == "corrupt"
+            assert fault_point("b") is None  # occurrence 0 already spent
+            assert [f.kind for f in plan.fires] == ["transient", "corrupt"]
+
+    def test_env_activation_reparses_on_change(self, monkeypatch):
+        assert active_fault_plan() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "p=transient")
+        first = active_fault_plan()
+        assert first is not None and first.rules[0].point == "p"
+        monkeypatch.setenv(FAULT_PLAN_ENV, "q=crash")
+        second = active_fault_plan()
+        assert second is not first and second.rules[0].point == "q"
+        assert second.rules[0].kind == "crash"
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert active_fault_plan() is None
+        install_fault_plan(first)
+        assert active_fault_plan() is first
+
+
+class TestProcessTier:
+    def test_byte_identical_to_serial(self, serial_text):
+        report = _run_process(serial_text)
+        assert _stat(report, "process-tier", "units") == 3
+
+    def test_transient_fault_is_retried(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="executor.worker@foo=transient")
+        assert _stat(report, "process-tier", "transient_retries") == 1
+        assert _stat(report, "process-tier", "recovered_units") == 1
+        assert any("unit 'foo': recovered after 1 failed attempt(s)"
+                   in remark for remark in report.remarks)
+        assert any("retrying (attempt 2)" in remark
+                   for remark in report.remarks)
+
+    def test_worker_crash_rebuilds_pool(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="executor.worker@foo=crash")
+        assert _stat(report, "process-tier", "worker_crashes") >= 1
+        assert _stat(report, "process-tier", "pool_rebuilds") == 1
+        assert any("worker pool restarted after worker crash" in remark
+                   for remark in report.remarks)
+
+    def test_hang_is_bounded_by_deadline(self, serial_text):
+        start = time.monotonic()
+        report = _run_process(serial_text,
+                              spec="executor.worker@foo=hang/60",
+                              deadline=0.75)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # nowhere near the injected 60s sleep
+        assert _stat(report, "process-tier", "hangs") == 1
+        assert _stat(report, "process-tier", "pool_rebuilds") == 1
+        assert any("deadline exceeded" in remark
+                   for remark in report.remarks)
+
+    def test_corrupt_worker_result_is_detected(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="executor.worker.result@foo=corrupt")
+        assert _stat(report, "process-tier", "corrupt_results") == 1
+        assert _stat(report, "process-tier", "recovered_units") == 1
+        assert any("corrupt result" in remark for remark in report.remarks)
+
+    def test_corrupt_at_splice_is_detected(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="executor.splice@foo=corrupt")
+        assert _stat(report, "process-tier", "corrupt_results") == 1
+
+    def test_retry_exhaustion_degrades_unit_to_serial(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="executor.worker@foo:*=transient")
+        assert _stat(report, "process-tier", "degraded_units") == 1
+        # The retry budget (max_retries=2) bounds the attempts: first
+        # try plus two retries, then the serial fallback.
+        assert _stat(report, "process-tier", "transient_retries") == 3
+        assert any("degraded to in-process serial run" in remark
+                   for remark in report.remarks)
+
+    def test_ladder_process_to_thread(self, serial_text):
+        report = _run_process(serial_text,
+                              spec="process-tier.dispatch=transient")
+        assert _stat(report, "process-tier", "degraded") == 1
+        assert any("process-tier: degraded to thread tier" in remark
+                   for remark in report.remarks)
+
+    def test_ladder_thread_to_serial(self, serial_text):
+        module = _listing_module()
+        manager = parse_pass_pipeline(PIPELINE)
+        manager.jobs = 4
+        try:
+            with fault_plan("thread-tier.dispatch=transient"):
+                report = manager.run(module)
+        finally:
+            manager.close()
+        assert Printer().print_module(module) == serial_text
+        assert _stat(report, "thread-tier", "degraded") == 1
+        assert any("thread-tier: degraded to serial" in remark
+                   for remark in report.remarks)
+
+    def test_full_ladder_process_to_thread_to_serial(self, serial_text):
+        report = _run_process(
+            serial_text,
+            spec="process-tier.dispatch=transient;"
+                 "thread-tier.dispatch=transient")
+        remarks = "\n".join(report.remarks)
+        assert "process-tier: degraded to thread tier" in remarks
+        assert "thread-tier: degraded to serial" in remarks
+        assert remarks.index("process-tier: degraded") \
+            < remarks.index("thread-tier: degraded")
+
+
+class TestCacheSelfHealing:
+    def test_corrupt_hit_evicts_and_recompiles(self, serial_text):
+        manager = parse_pass_pipeline(PIPELINE)
+        manager.cache = CompileCache()
+        try:
+            manager.run(_listing_module())  # cold: populates the cache
+            assert manager.cache.stats.misses == 1
+            module = _listing_module()
+            with fault_plan("compile-cache.hit=corrupt"):
+                report = manager.run(module)
+        finally:
+            manager.close()
+        assert Printer().print_module(module) == serial_text
+        assert _stat(report, "compile-cache", "recovered") == 1
+        assert any("compile-cache: recovered from corrupt entry" in remark
+                   for remark in report.remarks)
+        # The poisoned entry is gone and the recovery compile re-stored
+        # a fresh one, which serves the next run cleanly.
+        assert manager.cache.stats.evictions == 1
+        assert len(manager.cache) == 1
+        manager2 = parse_pass_pipeline(PIPELINE)
+        manager2.cache = manager.cache
+        try:
+            module = _listing_module()
+            clean = manager2.run(module)
+        finally:
+            manager2.close()
+        assert Printer().print_module(module) == serial_text
+        assert _stat(clean, "compile-cache", "hits") == 1
+        assert _stat(clean, "compile-cache", "recovered") == 0
+
+
+def _write_batch(tmp_path, segments, name="batch.mlir"):
+    path = tmp_path / name
+    path.write_text("// -----\n".join(segments), encoding="utf-8")
+    return path
+
+
+def _segment_texts():
+    return [Printer().print_module(wrap_in_module(build()[0])) + "\n"
+            for build in (build_listing1_function,
+                          build_listing3_function)]
+
+
+def _broken_verify_segment():
+    """A segment that parses but fails verification (use-before-def)."""
+    from repro.dialects import arith
+    from repro.dialects.func import FuncOp, ReturnOp
+    from repro.ir import Builder, InsertionPoint, i32
+
+    f = FuncOp.build("bad", [])
+    body = Builder(InsertionPoint.at_end(f.body))
+    c = body.insert(arith.ConstantOp.build(1, i32()))
+    add = body.insert(arith.AddIOp.build(c.result, c.result))
+    body.insert(ReturnOp.build())
+    add.move_before(c)
+    return Printer().print_module(wrap_in_module(f)) + "\n"
+
+
+class TestBatchIsolation:
+    @pytest.mark.parametrize("tier_args", [
+        [], ["--jobs", "4", "--parallel-tier", "process"],
+    ], ids=["serial", "process"])
+    def test_parse_error_does_not_abort_batch(self, tmp_path, capsys,
+                                              tier_args):
+        good1, good2 = _segment_texts()
+        path = _write_batch(tmp_path, [good1, "not IR at all\n", good2])
+        out_path = tmp_path / "out.mlir"
+        rc = repro_opt.main([str(path), "--split-input-file",
+                             "--passes", PIPELINE,
+                             "-o", str(out_path)] + tier_args)
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "segment 2): parse error" in captured.err
+        out = out_path.read_text(encoding="utf-8")
+        pieces = out.split("// -----\n")
+        assert len(pieces) == 3
+        assert "FAILED" in pieces[1]
+        assert '"func.func"' in pieces[0] and '"func.func"' in pieces[2]
+
+    def test_verification_failure_is_isolated(self, tmp_path, capsys):
+        good1, good2 = _segment_texts()
+        path = _write_batch(tmp_path,
+                            [good1, _broken_verify_segment(), good2])
+        out_path = tmp_path / "out.mlir"
+        rc = repro_opt.main([str(path), "--split-input-file",
+                             "--passes", PIPELINE, "-o", str(out_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "segment 2): verification failed" in captured.err
+        pieces = out_path.read_text(encoding="utf-8").split("// -----\n")
+        assert len(pieces) == 3 and "FAILED" in pieces[1]
+
+    def test_single_input_parse_error_still_aborts(self, tmp_path, capsys):
+        path = tmp_path / "bad.mlir"
+        path.write_text("not IR\n", encoding="utf-8")
+        rc = repro_opt.main([str(path), "--passes", PIPELINE])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILED" not in captured.out
+
+
+class TestProcessBatchCLI:
+    def _compile(self, tmp_path, capsys, extra, name="out.mlir"):
+        good1, good2 = _segment_texts()
+        path = _write_batch(tmp_path, [good1, good2, good1])
+        out_path = tmp_path / name
+        rc = repro_opt.main([str(path), "--split-input-file",
+                             "--passes", PIPELINE,
+                             "-o", str(out_path)] + extra)
+        return rc, out_path.read_text(encoding="utf-8"), \
+            capsys.readouterr().err
+
+    def test_output_matches_serial_and_reports_tier(self, tmp_path,
+                                                    capsys):
+        rc, serial_out, _ = self._compile(tmp_path, capsys, [],
+                                          name="serial.mlir")
+        assert rc == 0
+        rc, process_out, err = self._compile(
+            tmp_path, capsys,
+            ["--jobs", "4", "--parallel-tier", "process", "--report"],
+            name="process.mlir")
+        assert rc == 0
+        assert process_out == serial_out
+        assert "process-tier: segments = 2" in err
+        assert "process-tier: deduped-segments = 1" in err
+
+    def test_report_shows_recovery_events(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "executor.worker=transient")
+        rc, _out, err = self._compile(
+            tmp_path, capsys,
+            ["--jobs", "4", "--parallel-tier", "process", "--report"])
+        assert rc == 0
+        assert "transient_retries" in err
+        assert "recovered after 1 failed attempt(s)" in err
+
+
+class TestGracefulInterrupt:
+    def test_repro_opt_interrupt_exits_130(self, tmp_path, capsys,
+                                           monkeypatch):
+        path = tmp_path / "in.mlir"
+        path.write_text(_segment_texts()[0], encoding="utf-8")
+
+        def boom(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro_opt, "parse_module", boom)
+        rc = repro_opt.main([str(path), "--passes", PIPELINE])
+        assert rc == 130
+        assert "repro-opt: interrupted" in capsys.readouterr().err
+
+    def test_repro_run_interrupt_exits_130(self, tmp_path, capsys,
+                                           monkeypatch):
+        path = tmp_path / "in.mlir"
+        path.write_text(_segment_texts()[0], encoding="utf-8")
+
+        def boom(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro_run, "parse_module", boom)
+        rc = repro_run.main([str(path)])
+        assert rc == 130
+        assert "repro-run: interrupted" in capsys.readouterr().err
+
+    def test_repro_lint_interrupt_exits_130(self, tmp_path, capsys,
+                                            monkeypatch):
+        path = tmp_path / "in.mlir"
+        path.write_text(_segment_texts()[0], encoding="utf-8")
+
+        def boom(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro_lint, "parse_module", boom)
+        rc = repro_lint.main([str(path)])
+        assert rc == 130
+        assert "repro-lint: interrupted" in capsys.readouterr().err
+
+
+class TestWorkerErrorRendering:
+    def test_deterministic_worker_error_reproduces_in_process(
+            self, serial_text):
+        # A pass error is not retried: the unit degrades to the serial
+        # fallback, which reproduces the error with native semantics —
+        # here there is none (the pipeline is sound), so exercise the
+        # rendering through a worker that cannot parse its unit text.
+        # Simplest deterministic error: ship a transient on every
+        # attempt of one unit *and* verify the remaining units still
+        # land — covered above; here assert the error path renders a
+        # located diagnostic for a genuinely broken worker reply.
+        from repro.transforms.executor import (
+            SupervisedExecutor,
+            WorkUnit,
+        )
+
+        executor = SupervisedExecutor(ExecutorOptions(**FAST))
+        fallback_calls = []
+
+        def fallback(unit, attempts, events):
+            fallback_calls.append((unit.label, attempts))
+            from repro.transforms.executor import WorkResult
+            return WorkResult(unit=unit, text=None, attempts=attempts + 1,
+                              degraded=True, events=events)
+
+        try:
+            unit = WorkUnit(uid=0, label="broken", kind="function",
+                            text="this does not parse", spec="canonicalize")
+            results = executor.run_units(
+                [unit], lambda u, o: o["text"], fallback)
+        finally:
+            executor.close()
+        result = results[0]
+        assert result.degraded
+        assert fallback_calls == [("broken", 0)]
+        assert any("worker error" in event and "ParseError" in event
+                   for event in result.events)
