@@ -67,8 +67,9 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
         if name is not None and seconds is not None:
             scenarios[f"interp/{name}"] = seconds
     # Families whose record names already carry their prefix
-    # ("lint/listing-sweep", "process/splice-jobs4").
-    for family in ("static", "process"):
+    # ("lint/listing-sweep", "process/splice-jobs4",
+    # "disk/warm-fresh-process", "serve/round-trip").
+    for family in ("static", "process", "serve"):
         for record in results.get(family, {}).get("records", ()):
             name = record.get("name")
             seconds = record.get("seconds")

@@ -404,7 +404,10 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               interp: bool = False, interp_smoke: bool = False,
               static: bool = False, process: bool = False,
               process_jobs: int = 4, process_segments: int = 6,
-              process_segment_ops: int = 1500) -> Dict:
+              process_segment_ops: int = 1500,
+              serve: bool = False, serve_ops: int = 2000,
+              serve_clients: int = 4,
+              serve_requests_per_client: int = 3) -> Dict:
     records: List[Dict] = []
     for size in sizes:
         config = GeneratorConfig(
@@ -438,6 +441,12 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
             num_functions=concurrency_functions,
             num_ops=concurrency_ops, num_segments=process_segments,
             segment_ops=process_segment_ops, seed=seed)
+    if serve:
+        from .serve_bench import bench_serve
+
+        results["serve"] = bench_serve(
+            repeats=repeats, num_ops=serve_ops, clients=serve_clients,
+            requests_per_client=serve_requests_per_client, seed=seed)
     return results
 
 
@@ -471,6 +480,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--process", action="store_true",
                         help="also run the supervised process-tier "
                              "scenario family (the BENCH_7 scenarios)")
+    parser.add_argument("--serve", action="store_true",
+                        help="also run the compile-service / disk-cache "
+                             "scenario family (the BENCH_8 scenarios)")
     parser.add_argument("--jobs-list", default=None, metavar="N,N,...",
                         help="job counts for the parallel scenario "
                              f"(default: {','.join(map(str, DEFAULT_JOBS))})")
@@ -490,6 +502,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         concurrency_ops = 600
         process_segments = 2
         process_segment_ops = 300
+        serve_ops = 400
+        serve_requests = 2
     else:
         sizes = ([int(s) for s in args.sizes.split(",")]
                  if args.sizes else list(DEFAULT_SIZES))
@@ -499,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         concurrency_ops = 4000
         process_segments = 6
         process_segment_ops = 1500
+        serve_ops = 2000
+        serve_requests = 3
     jobs_list = ([int(j) for j in args.jobs_list.split(",")]
                  if args.jobs_list else list(DEFAULT_JOBS))
 
@@ -510,7 +526,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         interp=args.interp, interp_smoke=args.smoke,
                         static=args.static, process=args.process,
                         process_segments=process_segments,
-                        process_segment_ops=process_segment_ops)
+                        process_segment_ops=process_segment_ops,
+                        serve=args.serve, serve_ops=serve_ops,
+                        serve_requests_per_client=serve_requests)
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             results["baseline"] = json.load(handle)
@@ -560,6 +578,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({speedups[f'splice-jobs{jobs}']:.2f}x), "
                 f"batch {timings[f'process/batch-jobs{jobs}']:.4f}s "
                 f"({speedups[f'batch-jobs{jobs}']:.2f}x)")
+        if "serve" in results:
+            serve = results["serve"]
+            timings = {record["name"]: record["seconds"]
+                       for record in serve["records"]}
+            summary.append(
+                f"serve: disk cold {timings['disk/cold-fresh-process']:.4f}s, "
+                f"warm {timings['disk/warm-fresh-process']:.4f}s "
+                f"({serve['disk_warm_speedup']:.2f}x); "
+                f"one-shot {timings['serve/one-shot-process']:.4f}s, "
+                f"daemon {timings['serve/round-trip']:.4f}s "
+                f"({serve['daemon_speedup_vs_one_shot']:.1f}x); "
+                f"{serve['concurrent_requests_per_second']:.1f} req/s "
+                f"at {serve['clients']} clients")
         if "static" in results:
             static = results["static"]
             timings = {record["name"]: record["seconds"]

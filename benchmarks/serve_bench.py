@@ -1,0 +1,153 @@
+"""BENCH_8 scenario family: the compile service and the disk cache.
+
+Three questions, each answered by a scenario pair the regression gate
+tracks:
+
+* Does the disk cache pay across *processes*?  ``disk/cold-fresh-process``
+  runs ``repro-opt`` in a fresh subprocess against an empty cache root;
+  ``disk/warm-fresh-process`` runs the identical command against a
+  primed root.  Both pay interpreter startup and parsing, so the delta
+  is exactly the pipeline work the persisted artifact saves — the
+  honest measurement of "warm compiles survive restarts".
+* What does the daemon save over one-shot CLI calls?
+  ``serve/one-shot-process`` times a full ``repro-opt`` subprocess per
+  compile; ``serve/round-trip`` times the same compile as a request to
+  an in-process daemon with warm caches — the steady-state each model
+  reaches after the first compile.
+* Does the daemon scale with clients?  ``serve/concurrent-{N}clients``
+  hammers one daemon from N threads and records wall time for the whole
+  burst (requests/second derives from it).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.ir import Printer
+from repro.serve import CompileService, ReproServer, ServeClient
+
+from .generate import GeneratorConfig, generate_module
+from .runner import CONCURRENCY_PIPELINE, _time
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _subprocess_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _run_repro_opt(input_path: str,
+                   cache_dir: Optional[str] = None) -> None:
+    command = [sys.executable, "-m", "repro.tools.repro_opt", input_path,
+               "--passes", CONCURRENCY_PIPELINE, "-o", os.devnull]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    subprocess.run(command, check=True, capture_output=True,
+                   env=_subprocess_env())
+
+
+def bench_serve(repeats: int = 3, num_ops: int = 2000,
+                num_kernels: int = 8, clients: int = 4,
+                requests_per_client: int = 3, seed: int = 0) -> Dict:
+    config = GeneratorConfig(num_ops=num_ops, num_kernels=num_kernels,
+                             nesting_depth=1, seed=seed)
+    text = Printer().print_module(generate_module(config))
+
+    workdir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    records: List[Dict] = []
+    try:
+        input_path = os.path.join(workdir, "input.mlir")
+        with open(input_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        cache_dir = os.path.join(workdir, "cache")
+
+        # -- disk tier, fresh process per run --------------------------------
+        def wipe_cache():
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+        cold = _time(lambda _=None: _run_repro_opt(input_path, cache_dir),
+                     repeats, setup=wipe_cache)
+        records.append({"name": "disk/cold-fresh-process", "seconds": cold})
+
+        wipe_cache()
+        _run_repro_opt(input_path, cache_dir)  # prime the store
+        warm = _time(lambda: _run_repro_opt(input_path, cache_dir), repeats)
+        records.append({"name": "disk/warm-fresh-process", "seconds": warm})
+
+        # -- daemon round trip vs one-shot subprocess ------------------------
+        one_shot = _time(lambda: _run_repro_opt(input_path), repeats)
+        records.append({"name": "serve/one-shot-process",
+                        "seconds": one_shot})
+
+        service = CompileService()
+        server = ReproServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            with ServeClient(host=server.host, port=server.port,
+                             timeout=300.0) as client:
+                client.compile(text, CONCURRENCY_PIPELINE)  # warm the pool
+                round_trip = _time(
+                    lambda: client.compile(text, CONCURRENCY_PIPELINE),
+                    repeats)
+            records.append({"name": "serve/round-trip",
+                            "seconds": round_trip})
+
+            # -- concurrent-client throughput --------------------------------
+            def burst() -> None:
+                errors: List[BaseException] = []
+
+                def hammer() -> None:
+                    try:
+                        with ServeClient(host=server.host, port=server.port,
+                                         timeout=300.0) as worker:
+                            for _ in range(requests_per_client):
+                                worker.compile(text, CONCURRENCY_PIPELINE)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=hammer)
+                           for _ in range(clients)]
+                for item in threads:
+                    item.start()
+                for item in threads:
+                    item.join()
+                if errors:
+                    raise errors[0]
+
+            concurrent = _time(burst, repeats)
+            records.append({"name": f"serve/concurrent-{clients}clients",
+                            "seconds": concurrent})
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        total_requests = clients * requests_per_client
+        return {
+            "num_ops": num_ops,
+            "pipeline": CONCURRENCY_PIPELINE,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "records": records,
+            "disk_warm_speedup": (cold / warm) if warm > 0 else 0.0,
+            "daemon_speedup_vs_one_shot":
+                (one_shot / round_trip) if round_trip > 0 else 0.0,
+            "concurrent_requests_per_second":
+                (total_requests / concurrent) if concurrent > 0 else 0.0,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -17,6 +17,8 @@ setup(
             "repro-opt = repro.tools.repro_opt:main",
             "repro-run = repro.tools.repro_run:main",
             "repro-lint = repro.tools.repro_lint:main",
+            "repro-served = repro.tools.repro_served:main",
+            "repro-client = repro.tools.repro_client:main",
         ],
     },
 )

@@ -33,6 +33,9 @@ Plan syntax (``;``-separated rules)::
     executor.worker@k1:*=transient   every attempt at "k1" fails
     executor.worker@k1=hang/30       first attempt at "k1" sleeps 30s
     compile-cache.hit=corrupt        first cache hit splices garbage
+    disk-cache.read=corrupt          first disk read loads garbage
+    disk-cache.write:*=transient     every disk store fails (cache off)
+    serve.request@compile=transient  first daemon compile is retryable
 
 Occurrence indices are 0-based.  A missing occurrence means ``0`` (fire
 once, on the first matching call); ``*`` fires on every matching call.

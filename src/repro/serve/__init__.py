@@ -1,0 +1,28 @@
+"""Persistent compile service (PR 8).
+
+``repro-served`` keeps one process alive across many compiles so the
+expensive state — a warm two-tier compile cache, a shared analysis
+manager, and a pool of constructed pass managers — outlives any single
+request.  The wire protocol (:mod:`repro.serve.protocol`) is
+newline-delimited JSON over TCP; :mod:`repro.serve.server` hosts it and
+:mod:`repro.serve.client` speaks it (both from Python and via the
+``repro-client`` console script).
+"""
+
+from .client import ServeClient, ServeError
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from .server import CompileService, ReproServer
+
+__all__ = [
+    "ServeClient", "ServeError",
+    "DEFAULT_HOST", "DEFAULT_PORT", "PROTOCOL_VERSION", "ProtocolError",
+    "read_message", "write_message",
+    "CompileService", "ReproServer",
+]

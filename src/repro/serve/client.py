@@ -1,0 +1,135 @@
+"""Python client for the ``repro-served`` daemon.
+
+:class:`ServeClient` owns one TCP connection and speaks the NDJSON
+protocol: send a request, read ``progress`` events until the matching
+``done``.  Failures the server marks ``retryable: true`` (injected or
+environmental transients) are resent automatically with exponential
+backoff — the same retry ladder the PR 7 supervisor applies to worker
+processes, moved to the client side of a network boundary.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Optional
+
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+
+#: Progress callback: receives each ``progress`` event dict.
+Progress = Callable[[dict], None]
+
+
+class ServeError(RuntimeError):
+    """A request the daemon rejected (terminal ``ok: false``)."""
+
+    def __init__(self, message: str, kind: str = "request-error",
+                 retryable: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
+
+
+class ServeClient:
+    """One connection to a ``repro-served`` daemon.
+
+    Usable as a context manager; request methods are synchronous and
+    must not be called from multiple threads (open one client per
+    thread — connections are cheap, the daemon pools the real state).
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = 60.0,
+                 max_retries: int = 2, backoff: float = 0.05):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close,
+                       self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request machinery ---------------------------------------------------
+    def _request_once(self, message: dict,
+                      progress: Optional[Progress] = None) -> dict:
+        write_message(self._wfile, message)
+        while True:
+            response = read_message(self._rfile)
+            if response is None:
+                raise ServeError("connection closed mid-request",
+                                 kind="connection-error")
+            if response.get("event") == "progress":
+                if progress is not None:
+                    progress(response)
+                continue
+            if response.get("ok"):
+                return response
+            raise ServeError(response.get("error", "request failed"),
+                             kind=response.get("kind", "request-error"),
+                             retryable=bool(response.get("retryable")))
+
+    def request(self, method: str, on_progress: Optional[Progress] = None,
+                **fields) -> dict:
+        """Send one request; retries responses marked retryable."""
+        attempt = 0
+        while True:
+            self._next_id += 1
+            message = {"id": self._next_id, "method": method, **fields}
+            try:
+                return self._request_once(message, progress=on_progress)
+            except ServeError as error:
+                if not error.retryable or attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            except ProtocolError as exc:
+                raise ServeError(str(exc), kind="protocol-error") from None
+
+    # -- convenience methods -------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def compile(self, ir: str, passes: str,
+                progress: Optional[Progress] = None,
+                verify: bool = True, print_locations: bool = False) -> dict:
+        """Compile ``ir`` through pipeline spec ``passes``.
+
+        Returns the ``done`` event: ``text`` is the optimized module,
+        ``statistics``/``remarks`` mirror ``repro-opt --report``, and
+        ``cached`` tells whether the compile was served from cache.
+        Passing a ``progress`` callback streams per-pass events — and,
+        like ``repro-opt --print-ir-*``, bypasses the compile cache.
+        """
+        return self.request(
+            "compile", on_progress=progress, ir=ir, passes=passes,
+            progress=progress is not None, verify=verify,
+            print_locations=print_locations,
+        )

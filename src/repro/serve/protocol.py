@@ -1,0 +1,98 @@
+"""The ``repro-served`` wire protocol: newline-delimited JSON.
+
+One TCP connection carries any number of requests.  Each request is a
+single JSON object on one line; the server answers with zero or more
+``progress`` events followed by exactly one terminal ``done`` event,
+all tagged with the request's ``id`` so a client can pipeline requests
+and still match responses.
+
+Request shape::
+
+    {"id": 1, "method": "compile", "ir": "...", "passes": "spec",
+     "progress": true, "verify": true, "print_locations": false}
+    {"id": 2, "method": "status"}
+    {"id": 3, "method": "ping"}
+    {"id": 4, "method": "shutdown"}
+
+Response shapes::
+
+    {"id": 1, "event": "progress", "phase": "pass-begin",
+     "pass": "canonicalize", "anchor": "func.func"}
+    {"id": 1, "event": "done", "ok": true, "text": "...",
+     "statistics": [["cse", "eliminated", 3]], "remarks": [...],
+     "cached": false}
+    {"id": 1, "event": "done", "ok": false, "error": "...",
+     "kind": "parse-error", "retryable": false}
+
+``retryable`` marks failures the client may simply resend (an injected
+or environmental transient); everything else is a property of the
+request itself and retrying cannot help.
+
+Newline-delimited JSON keeps the framing trivial (``readline`` is the
+whole decoder), keeps the protocol debuggable (``nc`` + a text editor
+is a working client) and matches how IR already travels between
+processes in the PR 7 executor: as text.  Embedded newlines in the IR
+are JSON-escaped by construction, so one message is always one line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+#: Bumped on incompatible message-shape changes; ``ping`` reports it so
+#: clients can refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8791
+
+#: Methods the service dispatches; anything else is a request error.
+METHODS = ("compile", "status", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A line that is not a valid protocol message."""
+
+
+def write_message(stream: IO[bytes], message: dict) -> None:
+    """Encode one message onto ``stream`` (one line, flushed)."""
+    encoded = json.dumps(message, sort_keys=True) + "\n"
+    stream.write(encoded.encode("utf-8"))
+    stream.flush()
+
+
+def read_message(stream: IO[bytes]) -> Optional[dict]:
+    """Decode the next message from ``stream``; ``None`` at EOF.
+
+    Raises :class:`ProtocolError` for non-JSON or non-object lines —
+    the connection is unusable past a framing error because message
+    boundaries can no longer be trusted.
+    """
+    line = stream.readline()
+    if not line:
+        return None
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        raise ProtocolError("empty protocol line")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol message must be an object, got {type(message).__name__}")
+    return message
+
+
+def error_response(request_id, message: str, kind: str = "request-error",
+                   retryable: bool = False) -> dict:
+    """A terminal failure event for ``request_id``."""
+    return {
+        "id": request_id,
+        "event": "done",
+        "ok": False,
+        "error": message,
+        "kind": kind,
+        "retryable": retryable,
+    }

@@ -26,6 +26,8 @@ from ..dialects import all_dialects  # noqa: F401 - registers ops and types
 from ..ir import ParseError, VerificationError, parse_module, verify
 from ..analysis.lint import describe_lint_rules, run_lint
 from ..analysis.manager import AnalysisManager
+from ..transforms.compile_cache import CompileCache
+from ..transforms.disk_cache import DiskCache, cache_dir_from_env
 from ..transforms.pipelines import (
     NAMED_PIPELINES,
     build_named_pipeline,
@@ -61,6 +63,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-verify", action="store_true",
         help="skip IR verification before linting")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="root of a persistent on-disk compile cache for the "
+             "optional pipeline run, shared with repro-opt and "
+             "repro-served (default: $REPRO_CACHE_DIR when set)")
     parser.add_argument(
         "--analysis-stats", action="store_true",
         help="print analysis-manager cache statistics to stderr")
@@ -134,6 +141,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
         except ValueError as exc:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return 2
+    # CI lints the same pipelines over the same listings repeatedly —
+    # a disk-backed cache turns those re-runs warm.
+    cache_dir = args.cache_dir or cache_dir_from_env()
+    if manager is not None and cache_dir:
+        manager.cache = CompileCache(disk=DiskCache(cache_dir))
 
     # One analysis manager across every module and rule: repeated rules
     # (and repeated modules sharing anchors) hit warm caches.

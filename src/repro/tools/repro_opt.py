@@ -59,6 +59,7 @@ from ..ir import (
 )
 from ..analysis.lint import run_lint
 from ..transforms.compile_cache import CompileCache, text_fingerprint
+from ..transforms.disk_cache import DiskCache, cache_dir_from_env
 from ..transforms.executor import (
     ExecutorOptions,
     TierError,
@@ -117,6 +118,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the fingerprint-keyed compile cache shared across "
              "batch segments")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="root of a persistent on-disk artifact cache shared across "
+             "invocations and with repro-served (default: "
+             "$REPRO_CACHE_DIR when set, else memory-only)")
     parser.add_argument(
         "--passes", default=None, metavar="SPEC",
         help="pass pipeline spec, e.g. 'canonicalize,cse' or "
@@ -396,14 +402,20 @@ def _main(argv: Optional[List[str]] = None) -> int:
             args.parallel_tier == "process" and args.jobs > 1
             and len(segments) > 1 and engine is None and not args.lint
             and not manager.instrumentations)
-        # A cache can only hit across segments of one invocation, and an
-        # instrumented manager never consults it (hits would swallow
-        # --verify-each / --print-ir output) — create one only when it
-        # can actually serve, so --report never shows a dead cache.
+        # An in-memory cache can only hit across segments of one
+        # invocation, and an instrumented manager never consults any
+        # cache (hits would swallow --verify-each / --print-ir output)
+        # — create one only when it can actually serve, so --report
+        # never shows a dead cache.  A disk tier (--cache-dir /
+        # $REPRO_CACHE_DIR) changes the calculus: it hits across
+        # *invocations*, so it pays even for a single segment.
         # (The process batch path dedupes identical segments itself.)
-        if not args.no_cache and len(segments) > 1 \
-                and not manager.instrumentations and not use_batch_process:
-            cache = CompileCache()
+        cache_dir = args.cache_dir or cache_dir_from_env()
+        if not args.no_cache and not manager.instrumentations \
+                and not use_batch_process \
+                and (len(segments) > 1 or cache_dir):
+            disk = DiskCache(cache_dir) if cache_dir else None
+            cache = CompileCache(disk=disk)
             manager.cache = cache
     else:
         use_batch_process = False
@@ -551,6 +563,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
             print(f"compile cache: {stats['hits']} hits, "
                   f"{stats['misses']} misses, {stats['entries']} entries",
                   file=sys.stderr)
+            disk_stats = stats.get("disk")
+            if disk_stats is not None:
+                print(f"disk cache: {disk_stats['hits']} hits, "
+                      f"{disk_stats['misses']} misses, "
+                      f"{disk_stats['evictions']} evictions, "
+                      f"{disk_stats['corrupt_recoveries']} corrupt "
+                      f"recoveries, {disk_stats['entries']} entries, "
+                      f"{disk_stats['bytes_on_disk']} bytes on disk",
+                      file=sys.stderr)
         if manager is not None:
             print(f"analysis manager: {manager.analysis_manager.describe()}",
                   file=sys.stderr)

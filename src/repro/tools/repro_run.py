@@ -46,6 +46,8 @@ from ..runtime.device import (
     intel_data_center_gpu_max_1100,
     small_test_device,
 )
+from ..transforms.compile_cache import CompileCache
+from ..transforms.disk_cache import DiskCache, cache_dir_from_env
 from ..transforms.pipelines import (
     NAMED_PIPELINES,
     build_named_pipeline,
@@ -112,6 +114,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-verify", action="store_true",
         help="skip IR verification before executing")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="root of a persistent on-disk compile cache shared with "
+             "repro-opt and repro-served (default: $REPRO_CACHE_DIR "
+             "when set, else no caching)")
     parser.add_argument(
         "--allow-unregistered", action="store_true",
         help="accept operations not present in the operation registry")
@@ -258,6 +265,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro-run: {exc}", file=sys.stderr)
         return 2
+    # Optimize-before-execute pays disk-cache dividends: the pipeline
+    # cost of a hot kernel is skipped entirely on the second run.
+    cache_dir = args.cache_dir or cache_dir_from_env()
+    if manager is not None and cache_dir:
+        manager.cache = CompileCache(disk=DiskCache(cache_dir))
 
     try:
         if not args.no_verify:

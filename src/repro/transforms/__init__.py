@@ -16,6 +16,7 @@ from .host_raising import (
     extract_kernel_name,
 )
 from .compile_cache import CachedCompile, CacheStats, CompileCache
+from .disk_cache import DiskCache, DiskCacheStats, cache_dir_from_env
 from .licm import LoopInvariantCodeMotion, VersionedLICM
 from .loop_internalization import LoopInternalization, work_group_size_of
 from .lower_sycl import LowerAccessorSubscripts
@@ -74,6 +75,7 @@ __all__ = [
     "LoopInternalization", "work_group_size_of",
     "LowerAccessorSubscripts",
     "CachedCompile", "CacheStats", "CompileCache",
+    "DiskCache", "DiskCacheStats", "cache_dir_from_env",
     "CompileReport", "FunctionPass", "IRPrintingInstrumentation",
     "LintInstrumentation",
     "ModulePass", "OpPassManager", "Pass", "PassInstrumentation",

@@ -19,6 +19,16 @@ result cannot poison the cache.
 The cache is thread-safe (one lock around the LRU table) and is designed
 to be *shared*: one cache serves every segment of a ``repro-opt``
 batch run and every worker of a ``jobs=N`` pool.
+
+Since PR 8 the in-memory table can sit on top of a persistent
+:class:`~repro.transforms.disk_cache.DiskCache` (``disk=``), forming a
+two-tier read-through/write-through hierarchy: a memory miss consults
+the disk store, re-parses the persisted text into a template (the same
+lossless ``loc``-trailer transport the process tier validates), and
+promotes it so later lookups hit in memory; stores write through so a
+warm compile survives the process.  Disk entries that fail to re-parse
+are evicted on the spot and the lookup degrades to a cold compile —
+PR 7's recover-don't-fail contract extended to persistent state.
 """
 
 from __future__ import annotations
@@ -83,10 +93,13 @@ class CompileCache:
     should bound it; eviction is least-recently-used.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None, disk=None):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be None or >= 1")
         self.max_entries = max_entries
+        #: Optional :class:`~repro.transforms.disk_cache.DiskCache`
+        #: backing tier (read-through on miss, write-through on store).
+        self.disk = disk
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CachedCompile]" = OrderedDict()
         self._lock = threading.Lock()
@@ -108,14 +121,44 @@ class CompileCache:
     def lookup(self, key: CacheKey) -> Optional[CachedCompile]:
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+        if self.disk is None:
+            return None
+        # Read-through: parse/promote runs outside the lock — disk I/O
+        # and re-parsing must not serialize concurrent compiles.
+        entry = self._read_through(key)
+        if entry is not None:
+            self._promote(key, entry)
+        return entry
 
-    def store(self, key: CacheKey, entry: CachedCompile) -> None:
+    def _read_through(self, key: CacheKey) -> Optional[CachedCompile]:
+        payload = self.disk.load(key)
+        if payload is None:
+            return None
+        from ..ir import ParseError, parse_module
+
+        try:
+            module = parse_module(payload["text"], filename="<disk-cache>")
+        except (ParseError, RecursionError):
+            # The text passed its fingerprint but no longer parses (a
+            # schema drift or a printer/parser bug): evict and recompile
+            # rather than fail a compile a cold run would pass.
+            self.disk.recover(key)
+            return None
+        return CachedCompile(
+            module=module,
+            statistics=[tuple(triple) for triple in payload["statistics"]],
+            remarks=list(payload["remarks"]),
+            preserved_analyses=tuple(payload["preserved_analyses"]),
+        )
+
+    def _promote(self, key: CacheKey, entry: CachedCompile) -> None:
+        """Install a disk-tier hit in the memory table without touching
+        hit/miss counters (the lookup already counted a memory miss)."""
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
@@ -123,6 +166,22 @@ class CompileCache:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+
+    def store(self, key: CacheKey, entry: CachedCompile) -> None:
+        self._promote(key, entry)
+        if self.disk is not None:
+            self._write_through(key, entry)
+
+    def _write_through(self, key: CacheKey, entry: CachedCompile) -> None:
+        from ..ir import Printer
+
+        text = Printer(print_locations=True).print_module(entry.module)
+        self.disk.store(
+            key, text,
+            statistics=entry.statistics,
+            remarks=entry.remarks,
+            preserved_analyses=entry.preserved_analyses,
+        )
 
     def evict(self, key: CacheKey) -> bool:
         """Drop one entry (the self-healing path: a hit whose
@@ -143,15 +202,23 @@ class CompileCache:
         with self._lock:
             self._entries.clear()
 
-    def describe(self) -> Dict[str, int]:
-        """JSON-able snapshot for reports and benchmarks."""
+    def describe(self) -> Dict[str, object]:
+        """JSON-able snapshot for reports and benchmarks.
+
+        Memory-tier counters live at the top level (their historical
+        shape); when a disk tier is attached its counters appear under
+        the ``"disk"`` sub-dict.
+        """
         with self._lock:
-            return {
+            summary: Dict[str, object] = {
                 "entries": len(self._entries),
                 "hits": self.stats.hits,
                 "misses": self.stats.misses,
                 "evictions": self.stats.evictions,
             }
+        if self.disk is not None:
+            summary["disk"] = self.disk.describe()
+        return summary
 
     def __repr__(self) -> str:
         return (f"<CompileCache entries={len(self)} "

@@ -1,0 +1,306 @@
+"""The persistent disk cache: round trips, invalidation, recovery.
+
+The contract under test (``docs/serving.md``): a compile served
+warm-from-disk is byte-identical to a cold compile in *any* process; a
+changed input or changed pipeline spec can never hit (content
+addressing); and no corruption — torn writes, mangled entries, injected
+read faults, unwritable disks — can ever make a compile fail or produce
+wrong output (it degrades to a cold recompile that repairs the store).
+"""
+
+import json
+import os
+import stat
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.faults import fault_plan, install_fault_plan  # noqa: E402
+from repro.ir import Printer  # noqa: E402
+from repro.transforms import (  # noqa: E402
+    CompileCache,
+    DiskCache,
+    parse_pass_pipeline,
+)
+from repro.transforms.disk_cache import ENTRY_VERSION  # noqa: E402
+
+from .helpers import (  # noqa: E402
+    build_listing1_function,
+    build_listing2_function,
+    build_listing3_function,
+    wrap_in_module,
+)
+
+PIPELINE = "builtin.module(func.func(canonicalize,cse,dce))"
+OTHER_PIPELINE = "builtin.module(func.func(canonicalize,cse))"
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    yield
+    install_fault_plan(None)
+
+
+def _module(*builders):
+    builders = builders or (build_listing1_function,
+                            build_listing2_function,
+                            build_listing3_function)
+    return wrap_in_module(*[build()[0] for build in builders])
+
+
+def _compile(cache, spec=PIPELINE, *builders):
+    """One compile through a fresh manager wired to ``cache``; returns
+    the printed result (the bytes a CLI would emit)."""
+    module = _module(*builders)
+    manager = parse_pass_pipeline(spec)
+    manager.cache = cache
+    manager.run(module)
+    return Printer().print_module(module)
+
+
+def _entry_files(root):
+    return sorted(Path(root).glob("*/*.json"))
+
+
+class TestTwoTierReadThrough:
+    def test_warm_from_disk_is_byte_identical(self, tmp_path):
+        # Two CompileCache instances over one disk root model two
+        # *processes*: the second has cold memory and hits only disk.
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        warm = _compile(CompileCache(disk=disk))
+        assert warm == cold
+        assert disk.stats.hits == 1
+        assert disk.stats.misses == 0
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        cache = CompileCache(disk=disk)
+        _compile(cache)
+        _compile(cache)
+        # Second lookup through the same cache hits memory, not disk.
+        assert disk.stats.hits == 1
+        assert cache.stats.hits == 1
+
+    def test_hit_carries_statistics_and_remarks(self, tmp_path):
+        module = _module()
+        manager = parse_pass_pipeline(PIPELINE)
+        manager.cache = CompileCache(disk=DiskCache(tmp_path))
+        cold_report = manager.run(module)
+        cold_stats = {(s.pass_name, s.name): s.value
+                      for s in cold_report.statistics
+                      if s.pass_name != "compile-cache"}
+
+        warm_manager = parse_pass_pipeline(PIPELINE)
+        warm_manager.cache = CompileCache(disk=DiskCache(tmp_path))
+        warm_report = warm_manager.run(_module())
+        warm_stats = {(s.pass_name, s.name): s.value
+                      for s in warm_report.statistics
+                      if s.pass_name != "compile-cache"}
+        assert warm_stats == cold_stats
+        assert warm_report.get_statistic("compile-cache", "hits") == 1
+
+    def test_write_through_persists_one_entry(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        _compile(CompileCache(disk=disk))
+        files = _entry_files(tmp_path)
+        assert len(files) == 1
+        # Sharded layout: <root>/<2-hex>/<digest>.json
+        assert files[0].parent.name == files[0].stem[:2]
+        payload = json.loads(files[0].read_text())
+        assert payload["version"] == ENTRY_VERSION
+
+
+class TestInvalidation:
+    def test_changed_input_misses(self, tmp_path):
+        _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        _compile(CompileCache(disk=disk), PIPELINE,
+                 build_listing1_function)  # different module
+        assert disk.stats.hits == 0
+        assert disk.stats.misses == 1
+
+    def test_changed_pipeline_misses(self, tmp_path):
+        _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        _compile(CompileCache(disk=disk), OTHER_PIPELINE)
+        assert disk.stats.hits == 0
+        assert disk.stats.misses == 1
+
+    def test_poisoned_entry_for_changed_input_cannot_hit(self, tmp_path):
+        """Cache poisoning: rebind an existing entry's file to the key
+        of a *different* compile — the key-field check must reject it."""
+        _compile(CompileCache(disk=DiskCache(tmp_path)))
+        victim = _entry_files(tmp_path)[0]
+        other_key = DiskCache.digest_for(("not-the-fingerprint", PIPELINE))
+        stolen = victim.parent.parent / other_key[:2] / f"{other_key}.json"
+        stolen.parent.mkdir(parents=True, exist_ok=True)
+        stolen.write_bytes(victim.read_bytes())
+
+        disk = DiskCache(tmp_path)
+        assert disk.load(("not-the-fingerprint", PIPELINE)) is None
+        assert disk.stats.corrupt_recoveries == 1
+        assert not stolen.exists()  # evicted on the spot
+
+
+class TestCorruptionRecovery:
+    def test_mangled_text_recovers_cold(self, tmp_path):
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        victim = _entry_files(tmp_path)[0]
+        payload = json.loads(victim.read_text())
+        payload["text"] = payload["text"].replace("func", "fnuc", 1)
+        victim.write_text(json.dumps(payload))
+
+        disk = DiskCache(tmp_path)
+        out = _compile(CompileCache(disk=disk))
+        assert out == cold  # recompiled, not served corrupt
+        assert disk.stats.corrupt_recoveries == 1
+        assert disk.stats.stores == 1  # the cold run repaired the store
+
+    def test_torn_write_truncated_json_recovers(self, tmp_path):
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        victim = _entry_files(tmp_path)[0]
+        victim.write_text(victim.read_text()[: victim.stat().st_size // 2])
+
+        disk = DiskCache(tmp_path)
+        assert _compile(CompileCache(disk=disk)) == cold
+        assert disk.stats.misses == 1
+        assert disk.stats.corrupt_recoveries == 1  # evicted, not skipped
+
+    def test_wrong_version_recovers(self, tmp_path):
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        victim = _entry_files(tmp_path)[0]
+        payload = json.loads(victim.read_text())
+        payload["version"] = ENTRY_VERSION + 1
+        victim.write_text(json.dumps(payload))
+
+        disk = DiskCache(tmp_path)
+        assert _compile(CompileCache(disk=disk)) == cold
+        assert disk.stats.corrupt_recoveries == 1
+
+    def test_injected_read_corruption_recovers(self, tmp_path):
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        with fault_plan("disk-cache.read=corrupt"):
+            assert _compile(CompileCache(disk=disk)) == cold
+        assert disk.stats.corrupt_recoveries == 1
+        # The recovery evicted and the cold run re-stored the entry.
+        assert len(_entry_files(tmp_path)) == 1
+
+    def test_injected_transient_read_degrades_to_miss(self, tmp_path):
+        cold = _compile(CompileCache(disk=DiskCache(tmp_path)))
+        disk = DiskCache(tmp_path)
+        with fault_plan("disk-cache.read=transient"):
+            assert _compile(CompileCache(disk=disk)) == cold
+        assert disk.stats.misses == 1
+        assert disk.stats.corrupt_recoveries == 0
+
+    def test_injected_write_failure_never_fails_compile(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        with fault_plan("disk-cache.write:*=transient"):
+            out = _compile(CompileCache(disk=disk))
+        assert out
+        assert disk.stats.write_errors == 1
+        assert _entry_files(tmp_path) == []
+
+    def test_unwritable_root_never_fails_compile(self, tmp_path):
+        root = tmp_path / "cache"
+        disk = DiskCache(root)
+        os.chmod(root, stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            if os.access(root, os.W_OK):  # running as root: no-op chmod
+                pytest.skip("cannot drop write permission (euid 0)")
+            out = _compile(CompileCache(disk=disk))
+            assert out
+            assert disk.stats.write_errors == 1
+        finally:
+            os.chmod(root, stat.S_IRWXU)
+
+
+class TestEviction:
+    def test_lru_eviction_respects_byte_budget(self, tmp_path):
+        disk = DiskCache(tmp_path, max_bytes=1)  # everything over budget
+        cache = CompileCache(disk=disk)
+        _compile(cache, PIPELINE, build_listing1_function)
+        _compile(cache, PIPELINE, build_listing2_function)
+        # Each store sweeps; at most the just-written entry survives
+        # transiently and the next sweep removes it too.
+        assert len(_entry_files(tmp_path)) <= 1
+        assert disk.stats.evictions >= 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        disk = DiskCache(tmp_path, max_bytes=None)
+        cache = CompileCache(disk=disk)
+        _compile(cache, PIPELINE, build_listing1_function)
+        _compile(cache, PIPELINE, build_listing2_function)
+        entries = _entry_files(tmp_path)
+        assert len(entries) == 2
+        for path in entries:  # age both entries far into the past
+            old = path.stat().st_mtime - 1000
+            os.utime(path, (old, old))
+        aged = {path: path.stat().st_mtime for path in entries}
+        # A fresh-process hit on listing1's entry must bump only it.
+        warm_disk = DiskCache(tmp_path, max_bytes=None)
+        _compile(CompileCache(disk=warm_disk), PIPELINE,
+                 build_listing1_function)
+        assert warm_disk.stats.hits == 1
+        refreshed = [path for path in entries
+                     if path.stat().st_mtime > aged[path] + 500]
+        assert len(refreshed) == 1
+
+    def test_explicit_evict(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        _compile(CompileCache(disk=disk))
+        key_file = _entry_files(tmp_path)[0]
+        assert key_file.exists()
+        # Reconstruct the key from the stored payload.
+        payload = json.loads(key_file.read_text())
+        assert disk.evict((payload["fingerprint"], payload["spec"]))
+        assert not key_file.exists()
+
+
+class TestStats:
+    def test_describe_shape(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        cache = CompileCache(disk=disk)
+        _compile(cache)
+        summary = cache.describe()
+        assert summary["disk"]["stores"] == 1
+        assert summary["disk"]["entries"] == 1
+        assert summary["disk"]["bytes_on_disk"] > 0
+        for counter in ("hits", "misses", "evictions",
+                        "corrupt_recoveries", "write_errors"):
+            assert counter in summary["disk"]
+
+    def test_no_disk_tier_keeps_historical_shape(self):
+        assert "disk" not in CompileCache().describe()
+
+
+class TestCrossProcess:
+    def test_fresh_process_warm_hit_via_cli(self, tmp_path):
+        """The genuine article: two ``repro-opt`` *processes* sharing a
+        disk root produce byte-identical output, the second warm."""
+        source = Printer().print_module(_module())
+        input_path = tmp_path / "in.mlir"
+        input_path.write_text(source, encoding="utf-8")
+        cache_dir = tmp_path / "cache"
+        command = [sys.executable, "-m", "repro.tools.repro_opt",
+                   str(input_path), "--passes", PIPELINE,
+                   "--cache-dir", str(cache_dir), "--report"]
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                 / "src")}
+        first = subprocess.run(command, capture_output=True, text=True,
+                               env=env, timeout=120)
+        second = subprocess.run(command, capture_output=True, text=True,
+                                env=env, timeout=120)
+        assert first.returncode == 0, first.stderr
+        assert second.returncode == 0, second.stderr
+        assert first.stdout == second.stdout
+        assert "disk cache: 0 hits, 1 misses" in first.stderr
+        assert "disk cache: 1 hits, 0 misses" in second.stderr

@@ -470,3 +470,60 @@ class TestWorkerErrorRendering:
         assert fallback_calls == [("broken", 0)]
         assert any("worker error" in event and "ParseError" in event
                    for event in result.events)
+
+
+class TestDaemonSignalContract:
+    """``repro-served`` follows the CLI signal rules as a subprocess:
+    Ctrl-C (SIGINT) exits 130, a supervisor's SIGTERM exits 0 — and in
+    both cases the daemon announces itself on stdout first, so the test
+    only signals a server that is actually listening."""
+
+    @staticmethod
+    def _spawn_daemon():
+        import os
+        import re
+        import subprocess
+
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                 / "src")}
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.repro_served",
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env)
+        banner = process.stdout.readline()
+        match = re.search(r"listening on .*:(\d+)$", banner.strip())
+        assert match, banner
+        return process, int(match.group(1))
+
+    def test_sigint_exits_130(self):
+        import signal
+
+        process, _port = self._spawn_daemon()
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=30) == 130
+        assert "repro-served: interrupted" in process.stderr.read()
+
+    def test_sigterm_exits_0(self):
+        import signal
+
+        process, _port = self._spawn_daemon()
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+        assert "repro-served: terminated" in process.stderr.read()
+
+    def test_client_shutdown_request_exits_0(self):
+        import os
+        import subprocess
+
+        daemon, port = self._spawn_daemon()
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                 / "src")}
+        client = subprocess.run(
+            [sys.executable, "-m", "repro.tools.repro_client",
+             "--port", str(port), "--shutdown"],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert client.returncode == 0, client.stderr
+        assert daemon.wait(timeout=30) == 0
