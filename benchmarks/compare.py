@@ -8,6 +8,7 @@ Tracked scenarios are flattened to ``name -> seconds``:
 * the parallel scenario: ``"parallel/jobs=<N>"``;
 * the cache scenario: ``"cache/cold"`` and ``"cache/warm"``;
 * the interpreter scenarios: ``"interp/<name>"``;
+* the tiered-execution scenarios: ``"jit/<name>"`` / ``"vector/<name>"``;
 * the static-analysis scenarios: ``"lint/listing-sweep"`` (cold) and
   ``"lint/listing-sweep-warm"`` (analysis-manager hits).
 
@@ -68,8 +69,9 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
             scenarios[f"interp/{name}"] = seconds
     # Families whose record names already carry their prefix
     # ("lint/listing-sweep", "process/splice-jobs4",
-    # "disk/warm-fresh-process", "serve/round-trip").
-    for family in ("static", "process", "serve"):
+    # "disk/warm-fresh-process", "serve/round-trip",
+    # "jit/vecadd-exec", "vector/gemm-exec").
+    for family in ("static", "process", "serve", "jit"):
         for record in results.get(family, {}).get("records", ()):
             name = record.get("name")
             seconds = record.get("seconds")

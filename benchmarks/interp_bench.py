@@ -23,7 +23,8 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.interp import ExecutionSpec, run_differential
-from repro.interp.differential import execute_function, synthesize_spec
+from repro.interp.differential import synthesize_spec
+from repro.interp.engine import ExecutionEngine
 
 from .kernels import build_gemm_module, build_vecadd_module
 
@@ -55,9 +56,13 @@ def _exec_scenario(name: str, module, entry: str, spec: ExecutionSpec,
                    repeats: int) -> Dict:
     function = module.lookup_symbol(entry)
     resolved = synthesize_spec(function, spec)
+    # Pinned to the scalar interpreter tier: these are the BENCH_5
+    # denominators the jit/vector scenarios (benchmarks.jit_bench)
+    # report their speedups against.
+    engine = ExecutionEngine(module, tier="interp")
 
     def run() -> int:
-        execution = execute_function(module, function, resolved)
+        execution = engine.execute(function, resolved)
         return execution.counters["ops"]
 
     seconds, ops = _time_best(run, repeats)

@@ -402,6 +402,7 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               concurrency_functions: int = 64,
               concurrency_ops: int = 4000,
               interp: bool = False, interp_smoke: bool = False,
+              jit: bool = False,
               static: bool = False, process: bool = False,
               process_jobs: int = 4, process_segments: int = 6,
               process_segment_ops: int = 1500,
@@ -433,6 +434,11 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
 
         results["interp"] = run_interp_suite(repeats=repeats,
                                              smoke=interp_smoke)
+    if jit:
+        from .jit_bench import run_jit_suite
+
+        results["jit"] = run_jit_suite(repeats=repeats,
+                                       smoke=interp_smoke)
     if static:
         results["static"] = bench_static(repeats=repeats, seed=seed)
     if process:
@@ -473,6 +479,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run the interpreter execution and "
                              "differential scenario family (the BENCH_5 "
                              "scenarios)")
+    parser.add_argument("--jit", action="store_true",
+                        help="also run the tiered-execution scenario "
+                             "family: jit and vector tiers on the "
+                             "BENCH_5 kernels (the BENCH_9 scenarios)")
     parser.add_argument("--static", action="store_true",
                         help="also run the lint-sweep / analysis-manager "
                              "warm-vs-cold scenario family (the BENCH_6 "
@@ -524,6 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         concurrency_functions=concurrency_functions,
                         concurrency_ops=concurrency_ops,
                         interp=args.interp, interp_smoke=args.smoke,
+                        jit=args.jit,
                         static=args.static, process=args.process,
                         process_segments=process_segments,
                         process_segment_ops=process_segment_ops,
@@ -562,6 +573,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .interp_bench import summarize
 
             line = summarize(results)
+            if line:
+                summary.append(line)
+        if "jit" in results:
+            from .jit_bench import summarize as summarize_jit
+
+            line = summarize_jit(results)
             if line:
                 summary.append(line)
         if "process" in results:

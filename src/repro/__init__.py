@@ -21,6 +21,20 @@ The public API is organised in layers:
 
 __version__ = "1.0.0"
 
-from . import dialects, interp, ir
+#: Subpackages resolved lazily (PEP 562) so that ``import repro.interp``
+#: does not eagerly pull in the dialect definitions: the interpreter /
+#: execution-engine layer only needs them once a module actually runs.
+_LAZY_SUBPACKAGES = ("dialects", "interp", "ir")
+
+
+def __getattr__(name):
+    if name in _LAZY_SUBPACKAGES:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = ["dialects", "interp", "ir", "__version__"]

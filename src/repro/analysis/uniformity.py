@@ -114,6 +114,28 @@ class UniformityAnalysis:
             ancestor = ancestor.parent_op()
         return False
 
+    def divergent_branches(self, root: Optional[Operation] = None) \
+            -> List[Operation]:
+        """Every ``scf.if`` under ``root`` (default: the analysis root)
+        whose condition is not known to be uniform.
+
+        The vectorized execution tier uses this query to decide legality:
+        a kernel with any divergent branch cannot run whole work-groups
+        in lockstep, so it falls back to the scalar interpreter.
+        """
+        scope = root if root is not None else self.root
+        return [op for op in scope.walk()
+                if self.is_divergent_branch(op)]
+
+    def is_work_item_scalar(self, value: Value) -> bool:
+        """True when ``value`` varies per work-item (the vectorizer's
+        "lane-varying" lattice point, complementing :meth:`is_uniform`).
+
+        ``UNKNOWN`` values answer ``False`` for both queries: a vectorizer
+        must treat them as illegal to vectorize rather than guess.
+        """
+        return self.uniformity_of(value) is Uniformity.NON_UNIFORM
+
     # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------

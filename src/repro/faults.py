@@ -36,6 +36,11 @@ Plan syntax (``;``-separated rules)::
     disk-cache.read=corrupt          first disk read loads garbage
     disk-cache.write:*=transient     every disk store fails (cache off)
     serve.request@compile=transient  first daemon compile is retryable
+    jit.compile=corrupt              first JIT codegen emits garbage —
+                                     the engine degrades to the
+                                     interpreter tier with a remark
+    jit.exec@gemm=transient          first jit run of kernel "gemm"
+                                     fails pre-dispatch; same degrade
 
 Occurrence indices are 0-based.  A missing occurrence means ``0`` (fire
 once, on the first matching call); ``*`` fires on every matching call.

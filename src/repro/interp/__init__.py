@@ -8,14 +8,21 @@ Layers:
   accessor bindings wired to :mod:`repro.runtime`, control signals);
 * :mod:`repro.interp.interpreter` — the region-based interpreter with
   barrier-aware ND-range kernel launches;
+* :mod:`repro.interp.engine` — the tiered :class:`ExecutionEngine`
+  facade and the ``@register_executor`` backend registry;
+* :mod:`repro.interp.jit` — the compile-to-Python JIT tier
+  (``tier="jit"``) with its fingerprint-keyed executable cache;
+* :mod:`repro.interp.vectorize` — the lockstep NumPy vector tier
+  (``tier="vector"``) for divergence-free kernels;
 * :mod:`repro.interp.differential` — the pre- vs post-pipeline
   differential execution harness (``optimized != miscompiled``).
 
 The heavy modules are imported lazily (PEP 562): dialect modules import
 ``repro.interp.registry``/``repro.interp.memory`` at definition time to
-register their evaluators, and the interpreter in turn imports the
-dialects — laziness here is what keeps that dependency loop acyclic at
-import time.
+register their evaluators, and the interpreter (and the tiers built on
+it) in turn imports the dialects — laziness here is what keeps that
+dependency loop acyclic at import time.  ``repro.interp.ExecutionEngine``
+therefore resolves without eagerly importing any dialect module.
 """
 
 from .memory import (
@@ -47,9 +54,25 @@ _LAZY = {
     "DifferentialReport": ("differential", "DifferentialReport"),
     "ExecutionSpec": ("differential", "ExecutionSpec"),
     "FunctionExecution": ("differential", "FunctionExecution"),
+    "execute_function": ("differential", "execute_function"),
     "execute_module": ("differential", "execute_module"),
     "run_differential": ("differential", "run_differential"),
     "synthesize_spec": ("differential", "synthesize_spec"),
+    "Backend": ("engine", "Backend"),
+    "ExecutionEngine": ("engine", "ExecutionEngine"),
+    "ExecutorRegistrationError": ("engine", "ExecutorRegistrationError"),
+    "TierFallback": ("engine", "TierFallback"),
+    "executor_for": ("engine", "executor_for"),
+    "register_executor": ("engine", "register_executor"),
+    "registered_executors": ("engine", "registered_executors"),
+    "CompiledExecutable": ("jit", "CompiledExecutable"),
+    "ExecutableCache": ("jit", "ExecutableCache"),
+    "JITBackend": ("jit", "JITBackend"),
+    "JITExecutionError": ("jit", "JITExecutionError"),
+    "JITUnsupportedError": ("jit", "JITUnsupportedError"),
+    "compile_executable": ("jit", "compile_executable"),
+    "VectorBackend": ("vectorize", "VectorBackend"),
+    "vector_legality": ("vectorize", "vector_legality"),
 }
 
 
@@ -74,6 +97,12 @@ __all__ = [
     "registered_evaluators",
     "EvalContext", "Interpreter", "LaunchResult",
     "DifferentialError", "DifferentialReport", "ExecutionSpec",
-    "FunctionExecution", "execute_module", "run_differential",
-    "synthesize_spec",
+    "FunctionExecution", "execute_function", "execute_module",
+    "run_differential", "synthesize_spec",
+    "Backend", "ExecutionEngine", "ExecutorRegistrationError",
+    "TierFallback", "executor_for", "register_executor",
+    "registered_executors",
+    "CompiledExecutable", "ExecutableCache", "JITBackend",
+    "JITExecutionError", "JITUnsupportedError", "compile_executable",
+    "VectorBackend", "vector_legality",
 ]

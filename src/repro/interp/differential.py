@@ -16,10 +16,14 @@ barriers and local tiles).
 
 Entry points:
 
-* :func:`execute_module` — run every executable function, returning
-  per-function results + memory snapshots;
-* :func:`run_differential` — the pre/post comparison;
-  raises :class:`DifferentialError` on any mismatch.
+* :func:`run_differential` — the pre/post comparison; raises
+  :class:`DifferentialError` on any mismatch.  ``tier`` selects the
+  execution tier (``"interp"``, ``"jit"``, ``"vector"`` or ``"auto"``)
+  both sides run on, so the harness doubles as the jit-vs-interp
+  equivalence oracle;
+* :func:`execute_module` / :func:`execute_function` — deprecated shims
+  over :class:`~repro.interp.engine.ExecutionEngine` (``execute_module``
+  / ``execute``), kept for one release.
 """
 
 from __future__ import annotations
@@ -41,9 +45,8 @@ from ..dialects.func import FuncOp
 from ..dialects.sycl import AccessorType, ItemType, NDItemType
 from ..runtime.accessor import Accessor
 from ..runtime.buffer import Buffer
-from .interpreter import Interpreter, _item_argument_type
+from .interpreter import _item_argument_type
 from .memory import (
-    AccessorBinding,
     InterpreterError,
     MemRefStorage,
     TrapError,
@@ -104,6 +107,9 @@ class FunctionExecution:
     results: List[object]
     memory: Dict[str, List[object]]
     counters: Dict[str, int]
+    #: The execution tier that actually ran (``"interp"``, ``"jit"``,
+    #: ``"vector"``, or a custom registered tier).
+    tier: str = "interp"
 
 
 @dataclass
@@ -144,6 +150,22 @@ def _scalar_for(type_, seed: int):
 
 
 def _fill_value(element_type, seed: int, index: int):
+    if is_float(element_type):
+        return (((seed + index * 29) % 23) - 11) * 0.375
+    if isinstance(element_type, IntegerType) and element_type.width == 1:
+        return (seed + index) % 2
+    return ((seed + index * 13) % 17) - 8
+
+
+def _fill_array(element_type, seed: int, total: int):
+    """Vectorized :func:`_fill_value` over ``range(total)``.
+
+    Bit-identical to the scalar formula (all intermediates are
+    non-negative, so NumPy's ``%`` agrees with Python's); the scalar
+    helper remains the executable specification and the fallback for
+    storage without a NumPy dtype.
+    """
+    index = _np.arange(total, dtype=_np.int64)
     if is_float(element_type):
         return (((seed + index * 29) % 23) - 11) * 0.375
     if isinstance(element_type, IntegerType) and element_type.width == 1:
@@ -298,8 +320,8 @@ def _materialize(plan: _ArgPlan):
         # runtime layer), so the fill is unconditional.
         buffer = Buffer(shape, dtype=dtype)
         total = buffer.size()
-        values = [_fill_value(element_type, seed, i) for i in range(total)]
-        buffer.write_host(_np.array(values, dtype=dtype).reshape(shape))
+        values = _fill_array(element_type, seed, total)
+        buffer.write_host(values.astype(dtype).reshape(shape))
         accessor = Accessor(buffer, mode)
         return accessor, buffer
     raise InterpreterError(f"unknown argument plan {plan!r}")
@@ -308,10 +330,9 @@ def _materialize(plan: _ArgPlan):
 def _snapshot(handle) -> List[object]:
     if isinstance(handle, Buffer):
         array = handle.host_array()
-        flat = array.reshape(-1)
-        if array.dtype.kind == "f":
-            return [float(v) for v in flat]
-        return [int(v) for v in flat]
+        # tolist() yields native Python floats / ints, matching the
+        # per-element float()/int() conversions it replaces.
+        return array.reshape(-1).tolist()
     if isinstance(handle, MemRefStorage):
         return handle.snapshot()
     raise InterpreterError(f"cannot snapshot {handle!r}")
@@ -324,45 +345,12 @@ def _snapshot(handle) -> List[object]:
 def execute_function(module: ModuleOp, function: FuncOp,
                      resolved: _ResolvedSpec,
                      max_steps: int = 10_000_000) -> FunctionExecution:
-    """Execute ``function`` with freshly materialized inputs."""
-    interpreter = Interpreter(module, max_steps=max_steps)
-    # Materialize every memref.global up front so both sides of a
-    # differential run snapshot the same key set, and stores into global
-    # state are part of the compared observable behaviour.
-    interpreter.materialize_globals()
-    values: List[object] = []
-    handles: List[object] = []
-    for plan in resolved.arg_plans:
-        if plan[0] == "item":
-            continue
-        value, handle = _materialize(plan)
-        if resolved.kind == "function" and isinstance(value, Accessor):
-            # Interpreter.call takes prepared values directly; only the
-            # launch path wraps runtime Accessors itself.
-            value = AccessorBinding(value, plan[2])
-        values.append(value)
-        handles.append(handle)
-    if resolved.kind == "kernel":
-        interpreter.launch(function, values, resolved.global_size,
-                           resolved.local_size)
-        results: List[object] = []
-    else:
-        results = interpreter.call(function, values)
-    memory: Dict[str, List[object]] = {}
-    handle_index = 0
-    for plan, name in zip(resolved.arg_plans, resolved.arg_names):
-        if plan[0] == "item":
-            continue
-        handle = handles[handle_index]
-        handle_index += 1
-        if handle is not None:
-            memory[name] = _snapshot(handle)
-    for global_name, storage in sorted(
-            interpreter.global_snapshots().items()):
-        memory[f"global:{global_name}"] = storage.snapshot()
-    return FunctionExecution(
-        name=function.sym_name, kind=resolved.kind, results=results,
-        memory=memory, counters=interpreter.counters.as_dict())
+    """Deprecated shim: use ``ExecutionEngine(module).execute``."""
+    from .engine import ExecutionEngine, _warn_deprecated
+
+    _warn_deprecated("execute_function", "ExecutionEngine.execute")
+    engine = ExecutionEngine(module, tier="interp", max_steps=max_steps)
+    return engine.execute(function, resolved)
 
 
 def _executable_functions(module: ModuleOp) -> List[FuncOp]:
@@ -376,25 +364,16 @@ def execute_module(module: ModuleOp,
                    specs: Optional[Dict[str, ExecutionSpec]] = None,
                    max_steps: int = 10_000_000,
                    ) -> Tuple[Dict[str, FunctionExecution], Dict[str, str]]:
-    """Execute every executable function of ``module``.
+    """Deprecated shim: use ``ExecutionEngine(module).execute_module``.
 
     Returns ``(executions, skipped)``; functions whose inputs cannot be
     synthesized or that trap are reported in ``skipped`` with the reason.
     """
-    specs = specs or {}
-    executions: Dict[str, FunctionExecution] = {}
-    skipped: Dict[str, str] = {}
-    for function in _executable_functions(module):
-        name = function.sym_name
-        try:
-            resolved = synthesize_spec(function, specs.get(name))
-            executions[name] = execute_function(module, function, resolved,
-                                                max_steps=max_steps)
-        except (InterpreterError, TrapError, ValueError) as error:
-            # ValueError covers runtime-object validation, e.g. an
-            # NDRange whose work_group_size does not divide the global.
-            skipped[name] = str(error)
-    return executions, skipped
+    from .engine import ExecutionEngine, _warn_deprecated
+
+    _warn_deprecated("execute_module", "ExecutionEngine.execute_module")
+    engine = ExecutionEngine(module, tier="interp", max_steps=max_steps)
+    return engine.execute_module(specs)
 
 
 # ---------------------------------------------------------------------------
@@ -472,7 +451,8 @@ def run_differential(module: ModuleOp,
                      atol: float = 1e-6,
                      max_steps: int = 10_000_000,
                      require_executions: bool = True,
-                     manager=None) -> DifferentialReport:
+                     manager=None,
+                     tier: str = "interp") -> DifferentialReport:
     """Execute ``module`` before and after ``pipeline``; compare.
 
     ``module`` itself is left untouched: the pipeline runs on a clone.
@@ -483,9 +463,16 @@ def run_differential(module: ModuleOp,
     :class:`~repro.transforms.compile_cache.CompileCache` — while
     ``pipeline`` still provides the display name.
 
+    ``tier`` selects the execution tier both sides run on (each side
+    gets its own :class:`~repro.interp.engine.ExecutionEngine` with a
+    fresh executable cache), so ``tier="jit"`` / ``tier="vector"`` turn
+    the harness into a cross-tier equivalence oracle.
+
     Returns a :class:`DifferentialReport`; raises
     :class:`DifferentialError` on the first mismatch.
     """
+    from .engine import ExecutionEngine
+
     if manager is not None:
         # The override IS the pipeline to run; `pipeline` only labels it.
         from ..transforms.pipelines import dump_pass_pipeline
@@ -502,12 +489,12 @@ def run_differential(module: ModuleOp,
     plans: Dict[str, _ResolvedSpec] = {}
     report = DifferentialReport(pipeline=label)
     pre: Dict[str, FunctionExecution] = {}
+    pre_engine = ExecutionEngine(module, tier=tier, max_steps=max_steps)
     for function in _executable_functions(module):
         name = function.sym_name
         try:
             plans[name] = synthesize_spec(function, specs.get(name))
-            pre[name] = execute_function(module, function, plans[name],
-                                         max_steps=max_steps)
+            pre[name] = pre_engine.execute(function, plans[name])
         except (InterpreterError, TrapError, ValueError) as error:
             report.skipped[name] = str(error)
 
@@ -519,6 +506,8 @@ def run_differential(module: ModuleOp,
     optimized = module.clone({})
     resolved_manager.run(optimized)
 
+    post_engine = ExecutionEngine(optimized, tier=tier,
+                                  max_steps=max_steps)
     post_functions = {f.sym_name: f
                       for f in _executable_functions(optimized)}
     for name, before in sorted(pre.items()):
@@ -527,8 +516,7 @@ def run_differential(module: ModuleOp,
             raise DifferentialError(
                 f"function '{name}' disappeared after pipeline {label}")
         try:
-            after = execute_function(optimized, function, plans[name],
-                                     max_steps=max_steps)
+            after = post_engine.execute(function, plans[name])
         except (InterpreterError, TrapError, ValueError) as error:
             raise DifferentialError(
                 f"function '{name}' became non-executable after pipeline "

@@ -1,0 +1,1682 @@
+"""Compile-to-Python execution tier (the ``"jit"`` backend).
+
+The PR 5 interpreter re-dispatches every operation of every work item
+through the evaluator registry — ~350k ops/s.  This tier compiles a
+``func.func`` body **once** into the source text of one Python function
+and ``compile()``/``exec``\\ s it, so a kernel launch becomes plain
+Python loops over flat NumPy arrays with zero per-op dispatch.  The
+generated function preserves the interpreter's observable semantics:
+
+* **Numerics** — integers are Python ints, floats binary64, storage
+  rounds through the element dtype (loads emit ``float(flat[i])`` /
+  ``int(flat[i])`` so an f32 array element becomes the same binary64
+  value the interpreter produced); division/remainder/min/max/compare
+  helpers are shared with or mirrored from :mod:`repro.dialects.arith`.
+* **Traps** — bounds checks, div-by-zero, non-positive steps and cast
+  failures raise the same :class:`TrapError` the interpreter raises.
+* **Counters** — every structured block gets a compile-time op/load/
+  store/byte tally and a run-time execution count (``_bc<n>``); one
+  ``finally`` block multiplies them out, so the reported
+  :class:`ExecutionCounters` match the interpreter's exactly.  Loop
+  bodies also check ``_bc * ops > max_steps``, bounding runaway loops
+  like the interpreter's step budget does.
+* **Barriers** — kernels containing ``sycl.group_barrier`` compile to a
+  per-item *generator* that yields at barriers; the generated group
+  loop round-robins the generators exactly like
+  ``Interpreter._run_group``.  Barrier-free kernels compile to plain
+  nested loops (the fast path).
+
+Anything outside the supported op set raises
+:class:`JITUnsupportedError` at compile time, which the backend turns
+into a :class:`~repro.interp.engine.TierFallback` — the engine then
+runs the interpreter, so the JIT can never fail an execution the
+interpreter would pass.  Runtime guard failures in the generated
+prologue (an argument that is not array-backed) fall back the same way
+*before* any side effect.
+
+**Caching.**  Compiled executables are cached per structural
+fingerprint: the key is ``(text_fingerprint(printed function),
+"jit:<mode>")`` — the same key scheme (and, optionally, the same
+:class:`~repro.transforms.disk_cache.DiskCache`) the compile cache
+uses.  Disk entries store the *generated Python source* as the entry
+text; rehydration is ``compile()`` + ``exec`` against the static
+namespace below, no emitter run needed.
+
+**Fault injection** (:mod:`repro.faults`): ``jit.compile`` (``corrupt``
+poisons the generated source, ``transient`` fails the compile) and
+``jit.exec`` (fails an execution before it starts), both keyed by the
+function fingerprint.  Both degrade to the interpreter tier with a
+recorded remark.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..faults import TransientFault, fault_point
+from ..ir import (
+    IndexType,
+    IntegerType,
+    MemRefType,
+    Printer,
+    is_float,
+)
+from .engine import Backend, TierFallback, register_executor
+from .memory import (
+    BARRIER,
+    AccessorBinding,
+    InterpreterError,
+    MemRefStorage,
+    TrapError,
+    byte_size_of,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships NumPy
+    _np = None
+
+
+class JITUnsupportedError(InterpreterError):
+    """The function uses a construct the emitter does not compile."""
+
+
+class JITExecutionError(InterpreterError):
+    """A generated executable failed mid-run for a non-semantic reason.
+
+    Semantic traps (:class:`TrapError`) propagate unchanged; this wraps
+    unexpected failures (a corrupt executable, an emitter bug) so the
+    engine's re-materializing ``execute`` path can degrade to the
+    interpreter tier.
+    """
+
+
+class _GuardFallback(Exception):
+    """A generated prologue guard failed *before any side effect*."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers — everything the generated code may reference.  All
+# module-level (static), so a source rehydrated from disk runs with a
+# plain ``exec(source, _jit_namespace())``.
+# ---------------------------------------------------------------------------
+
+def _jit_floordiv(a, b):
+    # C-style truncating division (mirrors arith._floordiv).
+    return int(a / b) if (a < 0) != (b < 0) and a % b != 0 else a // b
+
+
+def _jit_divsi(a, b):
+    if b == 0:
+        raise TrapError("division by zero in 'arith.divsi'")
+    return _jit_floordiv(a, b)
+
+
+def _jit_divui(a, b):
+    if b == 0:
+        raise TrapError("division by zero in 'arith.divui'")
+    return a // b
+
+
+def _jit_remsi(a, b):
+    if b == 0:
+        raise TrapError("division by zero in 'arith.remsi'")
+    return a - _jit_floordiv(a, b) * b
+
+
+def _jit_remui(a, b):
+    if b == 0:
+        raise TrapError("division by zero in 'arith.remui'")
+    return a % b
+
+
+def _jit_ieee_zero_divide(op_name, a, b):
+    if op_name == "arith.divf" and a != 0.0 and not math.isnan(a):
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return math.nan
+
+
+def _jit_divf(a, b):
+    try:
+        return a / b
+    except ZeroDivisionError:
+        return _jit_ieee_zero_divide("arith.divf", float(a), float(b))
+
+
+def _jit_remf(a, b):
+    try:
+        return math.fmod(a, b)
+    except (ValueError, ZeroDivisionError):
+        return math.nan
+
+
+def _jit_minf(a, b):
+    if math.isnan(a) or math.isnan(b):
+        return math.nan
+    return min(a, b)
+
+
+def _jit_maxf(a, b):
+    if math.isnan(a) or math.isnan(b):
+        return math.nan
+    return max(a, b)
+
+
+def _jit_shift(op_name, compute, width, a, b):
+    shift = int(b)
+    if not 0 <= shift < width:
+        raise TrapError(
+            f"shift amount {shift} out of range for i{width} in "
+            f"'{op_name}'")
+    return compute(int(a), shift)
+
+
+def _jit_shli(a, b, width):
+    return _jit_shift("arith.shli", lambda x, s: x << s, width, a, b)
+
+
+def _jit_shrsi(a, b, width):
+    return _jit_shift("arith.shrsi", lambda x, s: x >> s, width, a, b)
+
+
+def _jit_fptosi(value):
+    try:
+        return int(value)
+    except (ValueError, OverflowError) as error:
+        raise TrapError(
+            f"'arith.fptosi' cannot convert {value!r}: {error}") from None
+
+
+def _jit_at(values, dim, what):
+    dim = int(dim)
+    if not 0 <= dim < len(values):
+        raise TrapError(
+            f"dimension {dim} out of range for {what} of rank "
+            f"{len(values)}")
+    return int(values[dim])
+
+
+def _jit_local_tile(local_accessor):
+    """The per-group NumPy tile behind a LocalAccessor argument (the
+    same dtype selection ``Interpreter._local_storages`` performs)."""
+    from .interpreter import _element_type_for_dtype
+    from .memory import _numpy_dtype
+
+    shape = tuple(int(d) for d in local_accessor.shape)
+    dtype = _numpy_dtype(_element_type_for_dtype(local_accessor.dtype))
+    if dtype is None:
+        raise _GuardFallback("local accessor dtype is not array-backed")
+    total = 1
+    for dim in shape:
+        total *= dim
+    return _np.zeros(total, dtype=dtype)
+
+
+def _jit_namespace() -> Dict[str, object]:
+    """Fresh globals for one executable.  Static by construction: every
+    name binds a module-level object, so disk-cached source needs only
+    ``compile()`` + ``exec`` to rehydrate."""
+    from ..dialects.arith import _FLOAT_PREDICATES
+    from ..runtime.accessor import LocalAccessor
+
+    return {
+        "_np": _np,
+        "math": math,
+        "_TrapError": TrapError,
+        "_Fallback": _GuardFallback,
+        "_BARRIER": BARRIER,
+        "_AccessorBinding": AccessorBinding,
+        "_MemRefStorage": MemRefStorage,
+        "_LocalAccessor": LocalAccessor,
+        "_at": _jit_at,
+        "_divsi": _jit_divsi,
+        "_divui": _jit_divui,
+        "_remsi": _jit_remsi,
+        "_remui": _jit_remui,
+        "_divf": _jit_divf,
+        "_remf": _jit_remf,
+        "_minf": _jit_minf,
+        "_maxf": _jit_maxf,
+        "_shli": _jit_shli,
+        "_shrsi": _jit_shrsi,
+        "_fptosi": _jit_fptosi,
+        "_FCMP": _FLOAT_PREDICATES,
+        "_local_tile": _jit_local_tile,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The emitter
+# ---------------------------------------------------------------------------
+
+class _Stat:
+    """Per-structured-block static tallies (multiplied by the block's
+    run-time execution count when counters are flushed)."""
+
+    __slots__ = ("ops", "loads", "stores", "bytes_read", "bytes_written",
+                 "barriers")
+
+    def __init__(self):
+        self.ops = 0
+        self.loads = 0
+        self.stores = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.barriers = 0
+
+
+class _Ref:
+    """How generated code addresses one storage: a flat array expression
+    plus static layout facts."""
+
+    __slots__ = ("flat", "size", "shape", "is_float", "elem_bytes")
+
+    def __init__(self, flat, size, shape, is_float_, elem_bytes):
+        self.flat = flat            # expr: the flat ndarray
+        self.size = size            # expr or int: element count
+        self.shape = shape          # tuple of expr-or-int extents, or None
+        self.is_float = is_float_
+        self.elem_bytes = elem_bytes
+
+
+class _Acc:
+    """Prologue-hoisted accessor facts (``a<i>_*`` variables)."""
+
+    __slots__ = ("base", "dims", "ref")
+
+    def __init__(self, base: str, dims: int, ref: _Ref):
+        self.base = base
+        self.dims = dims
+        self.ref = ref
+
+
+def _scalar_int_type(type_) -> bool:
+    return isinstance(type_, (IntegerType, IndexType))
+
+
+class _Emitter:
+    """Emits one Python function for one ``func.func`` body.
+
+    ``mode`` is ``"function"`` (plain call), ``"basic"`` (range
+    launch), ``"nd"`` (nd-range launch, no barriers — nested loops) or
+    ``"nd-barrier"`` (nd-range launch with barriers — per-item
+    generators round-robined per group).
+    """
+
+    # Tables are class attributes so tests can monkeypatch a deliberate
+    # miscompile (the differential harness must catch it).
+    BIN_INT = {
+        "arith.addi": "+", "arith.subi": "-", "arith.muli": "*",
+        "arith.andi": "&", "arith.ori": "|", "arith.xori": "^",
+    }
+    BIN_FLOAT = {
+        "arith.addf": "+", "arith.subf": "-", "arith.mulf": "*",
+    }
+    BIN_HELPER = {
+        "arith.divsi": "_divsi", "arith.divui": "_divui",
+        "arith.remsi": "_remsi", "arith.remui": "_remui",
+        "arith.divf": "_divf", "arith.remf": "_remf",
+        "arith.minf": "_minf", "arith.maxf": "_maxf",
+    }
+    CMP_INT = {
+        "eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">",
+        "sge": ">=", "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+    }
+    CMP_FLOAT_ORDERED = {
+        "oeq": "==", "olt": "<", "ole": "<=", "ogt": ">", "oge": ">=",
+    }
+
+    def __init__(self, function, mode: str):
+        self.fn = function
+        self.mode = mode
+        self.out: List[Optional[str]] = []     # body lines (indented)
+        self.pro: List[str] = []               # prologue lines (indent 1)
+        self.ind = 2                           # current body indent
+        self.kinds: Dict[int, Tuple] = {}      # id(Value) -> kind tuple
+        self.blocks: List[_Stat] = []
+        #: Per-block static execution-count expression, or None when the
+        #: count is data dependent (then a run-time ``_bc`` counts it).
+        self.block_static: List[Optional[str]] = []
+        self.count_stack: List[Optional[str]] = []
+        self.patches: List[Tuple[int, int, int, bool]] = []
+        self.static_budget: List[Tuple[str, int]] = []
+        self.scopes: List[set] = []            # constructed-cell scopes
+        self.memo_stack: List[Dict] = []       # scoped subscript CSE
+        self.cell_comps: Dict[str, List[str]] = {}
+        self.hoisted: Dict[int, _Ref] = {}     # id(alloc op) -> group tile
+        self.group_lines: List[str] = []       # per-group setup
+        self.total_expr = "1"
+        self.n = 0
+        self.item_rank: Optional[int] = None
+        self.uses_generator = mode == "nd-barrier"
+        self.g_vars: List[str] = []
+        self.l_vars: List[str] = []
+        self.p_vars: List[str] = []
+
+    # -- small utilities -----------------------------------------------------
+    def fresh(self, prefix: str = "v") -> str:
+        self.n += 1
+        return f"{prefix}{self.n}"
+
+    def line(self, text: str) -> None:
+        self.out.append("    " * self.ind + text)
+
+    def unsup(self, why: str) -> JITUnsupportedError:
+        return JITUnsupportedError(
+            f"'{self.fn.sym_name}' is not jit-compilable: {why}")
+
+    def kind_of(self, value) -> Tuple:
+        kind = self.kinds.get(id(value))
+        if kind is None:
+            raise self.unsup("use of a value the emitter did not bind")
+        return kind
+
+    def expr(self, value) -> str:
+        kind = self.kind_of(value)
+        if kind[0] in ("const", "scalar"):
+            return kind[1]
+        raise self.unsup(f"a {kind[0]} value used where a scalar is needed")
+
+    def bc(self, bid: int) -> str:
+        return f"_bc[{bid}]" if self.uses_generator else f"_bc{bid}"
+
+    def const_dim(self, op):
+        """The dimension operand of a query op: an int when constant, a
+        ``("dyn", expr)`` pair when dynamic, 0 when absent."""
+        if len(op.operands) <= 1:
+            return 0
+        kind = self.kind_of(op.operands[1])
+        if kind[0] == "const":
+            return int(kind[1].strip("()"))
+        if kind[0] == "scalar":
+            return ("dyn", kind[1])
+        raise self.unsup("a non-scalar dimension operand")
+
+    # -- top-level assembly --------------------------------------------------
+    def emit(self) -> str:
+        if self.fn.is_declaration:
+            raise self.unsup("function is a declaration")
+        self._emit_prologue()
+        if self.mode == "function":
+            self._emit_function_body()
+        else:
+            self._scan_group_allocs()
+            self._emit_kernel_body()
+        return self._assemble()
+
+    def _assemble(self) -> str:
+        for pos, ind, bid, budget in self.patches:
+            stat = self.blocks[bid]
+            pad = "    " * ind
+            text = f"{pad}{self.bc(bid)} += 1"
+            if budget:
+                text += (f"\n{pad}if {self.bc(bid)} * {max(stat.ops, 1)} > "
+                         f"_max_steps: raise _TrapError('exceeded the "
+                         f"interpreter step budget')")
+            self.out[pos] = text
+        lines = ["def _run(_args, _GR, _LR, _PR, _counters, _max_steps):"]
+        lines += self.pro
+        # Statically counted blocks pre-check the step budget once,
+        # instead of testing it on every execution.
+        for expr, bid in self.static_budget:
+            ops = max(self.blocks[bid].ops, 1)
+            lines.append(f"    if ({expr}) * {ops} > _max_steps: raise "
+                         f"_TrapError('exceeded the interpreter step "
+                         f"budget')")
+        if self.patches:
+            if self.uses_generator:
+                lines.append(f"    _bc = [0] * {len(self.blocks)}")
+            else:
+                for _, _, bid, _ in self.patches:
+                    lines.append(f"    _bc{bid} = 0")
+        lines.append("    try:")
+        lines += [text for text in self.out if text is not None]
+        lines.append("    finally:")
+        flush = self._flush_lines()
+        lines += flush if flush else ["        pass"]
+        lines.append("    return _ret" if self.mode == "function"
+                     else "    return None")
+        return "\n".join(lines) + "\n"
+
+    def _block_count(self, bid: int) -> str:
+        static = self.block_static[bid]
+        return f"({static})" if static is not None else self.bc(bid)
+
+    def _flush_lines(self) -> List[str]:
+        fields = ("ops", "loads", "stores", "bytes_read", "bytes_written",
+                  "barriers")
+        lines = []
+        for attr in fields:
+            terms = [f"{self._block_count(bid)} * {getattr(stat, attr)}"
+                     for bid, stat in enumerate(self.blocks)
+                     if getattr(stat, attr)]
+            if terms:
+                lines.append(f"        _counters.{attr} += "
+                             + " + ".join(terms))
+        return lines
+
+    # -- prologue: unpack and guard the argument vector ----------------------
+    def _emit_prologue(self) -> None:
+        from ..dialects.sycl import AccessorType, accessor_type_of
+        from .interpreter import _item_argument_type
+
+        p = self.pro.append
+        for index, argument in enumerate(self.fn.arguments):
+            item_type = _item_argument_type(argument.type)
+            if item_type is not None:
+                if self.mode == "function":
+                    raise self.unsup("item argument in a plain call")
+                rank = getattr(item_type, "dimensions", 1)
+                if self.item_rank is not None and self.item_rank != rank:
+                    raise self.unsup("conflicting item argument ranks")
+                self.item_rank = rank
+                self.kinds[id(argument)] = ("item",)
+                continue
+            accessor_type = accessor_type_of(argument)
+            if isinstance(accessor_type, AccessorType):
+                self._prologue_accessor(index, argument, accessor_type, p)
+                continue
+            if isinstance(argument.type, MemRefType):
+                self._prologue_memref(index, argument, p)
+                continue
+            var = f"x{index}"
+            p(f"    {var} = _args[{index}]")
+            self.kinds[id(argument)] = ("scalar", var)
+
+    def _prologue_accessor(self, index, argument, accessor_type, p) -> None:
+        dims = accessor_type.dimensions
+        elem = accessor_type.element_type
+        floaty = is_float(elem)
+        if accessor_type.is_local:
+            if self.mode in ("function", "basic"):
+                # Matches Interpreter._launch_basic's trap.
+                p("    raise _TrapError('a LocalAccessor argument "
+                  "requires a work-group launch (pass local_size)')")
+                self.kinds[id(argument)] = ("scalar", "None")
+                return
+            var = f"la{index}"
+            p(f"    {var} = _args[{index}]")
+            p(f"    if {var}.__class__ is not _LocalAccessor: "
+              f"raise _Fallback('argument {index} is not a LocalAccessor')")
+            p(f"    {var}_sh = tuple(int(_d) for _d in {var}.shape)")
+            p(f"    if len({var}_sh) != {dims}: "
+              f"raise _Fallback('local accessor rank mismatch')")
+            p(f"    {var}_n = math.prod({var}_sh)")
+            tile = f"{var}_t"
+            self.group_lines.append(f"{tile} = _local_tile({var})")
+            self.group_lines.append(
+                f"if ({tile}.dtype.kind == 'f') is not {floaty}: "
+                f"raise _Fallback('local accessor dtype mismatch')")
+            ref = _Ref(tile, f"{var}_n",
+                       tuple(f"{var}_sh[{k}]" for k in range(dims)),
+                       floaty, byte_size_of(elem))
+            self.kinds[id(argument)] = ("stor", ref)
+            return
+        var = f"a{index}"
+        p(f"    {var} = _args[{index}]")
+        p(f"    if {var}.__class__ is not _AccessorBinding: "
+          f"raise _Fallback('argument {index} is not an accessor binding')")
+        p(f"    {var}_f = {var}.storage._flat")
+        p(f"    if {var}_f is None or ({var}_f.dtype.kind == 'f') is not "
+          f"{floaty}: raise _Fallback('accessor storage mismatch')")
+        p(f"    {var}_n = {var}.storage._size")
+        p(f"    if {var}.dimensions != {dims}: "
+          f"raise _Fallback('accessor rank mismatch')")
+        p(f"    {var}_mr = {var}.mem_range")
+        p(f"    {var}_off = {var}.offset")
+        for k in range(dims):
+            p(f"    {var}_m{k} = {var}_mr[{k}]")
+            p(f"    {var}_o{k} = {var}_off[{k}]")
+        p(f"    {var}_ar = {var}.access_range")
+        p(f"    {var}_asz = math.prod({var}_ar)")
+        p(f"    {var}_b = {var}.base_linear_offset()")
+        ref = _Ref(f"{var}_f", f"{var}_n", None, floaty,
+                   byte_size_of(elem))
+        self.kinds[id(argument)] = ("acc", _Acc(f"{var}_b", dims, ref))
+
+    def _prologue_memref(self, index, argument, p) -> None:
+        memref_type = argument.type
+        elem = memref_type.element_type
+        from .memory import _numpy_dtype
+
+        if _numpy_dtype(elem) is None:
+            raise self.unsup(
+                f"memref argument of aggregate element type {elem}")
+        rank = memref_type.rank
+        floaty = is_float(elem)
+        var = f"s{index}"
+        p(f"    {var} = _args[{index}]")
+        p(f"    if {var}.__class__ is not _MemRefStorage: "
+          f"raise _Fallback('argument {index} is not a memref storage')")
+        p(f"    {var}_f = {var}._flat")
+        p(f"    if {var}_f is None or ({var}_f.dtype.kind == 'f') is not "
+          f"{floaty}: raise _Fallback('memref storage mismatch')")
+        p(f"    {var}_n = {var}._size")
+        p(f"    {var}_sh = {var}.shape")
+        p(f"    if len({var}_sh) != {rank}: "
+          f"raise _Fallback('memref rank mismatch')")
+        ref = _Ref(f"{var}_f", f"{var}_n",
+                   tuple(f"{var}_sh[{k}]" for k in range(rank)),
+                   floaty, byte_size_of(elem))
+        self.kinds[id(argument)] = ("stor", ref)
+
+    # -- kernel drivers ------------------------------------------------------
+    def _scan_group_allocs(self) -> None:
+        """Hoist top-level work-group-local allocs to group scope (the
+        shared-tile contract of ``EvalContext.local_storage_for``)."""
+        if self.mode == "basic":
+            return  # group is None there: local allocs are per-item
+        from .memory import _numpy_dtype
+
+        op = self.fn.body.first_op
+        while op is not None:
+            if op.name in ("memref.alloc", "memref.alloca") \
+                    and op.results[0].type.memory_space == "local":
+                memref_type = op.results[0].type
+                if not memref_type.has_static_shape():
+                    raise self.unsup("local alloc with dynamic shape")
+                dtype = _numpy_dtype(memref_type.element_type)
+                if dtype is None:
+                    raise self.unsup("local alloc of aggregate elements")
+                tile = self.fresh("t")
+                size = memref_type.num_elements()
+                self.group_lines.append(
+                    f"{tile} = _np.zeros({size}, dtype=_np."
+                    f"{_np.dtype(dtype).name})")
+                self.hoisted[id(op)] = _Ref(
+                    tile, size, tuple(memref_type.shape),
+                    is_float(memref_type.element_type),
+                    byte_size_of(memref_type.element_type))
+            op = op.next_op()
+
+    def _emit_kernel_body(self) -> None:
+        rank = self.item_rank
+        g = [f"g{d}" for d in range(rank)] if rank else []
+        lo = [f"l{d}" for d in range(rank)] if rank else []
+        pr = [f"p{d}" for d in range(rank)] if rank else []
+        self.g_vars, self.l_vars, self.p_vars = g, lo, pr
+        p = self.pro.append
+        if rank:
+            p(f"    if len(_GR) != {rank}: "
+              f"raise _Fallback('launch rank mismatch')")
+            p(f"    {', '.join(f'_GR{d}' for d in range(rank))}"
+              f"{',' if rank == 1 else ''} = _GR")
+            if self.mode != "basic":
+                p(f"    if _LR is None or len(_LR) != {rank}: "
+                  f"raise _Fallback('launch rank mismatch')")
+                p(f"    {', '.join(f'_LR{d}' for d in range(rank))}"
+                  f"{',' if rank == 1 else ''} = _LR")
+                p(f"    {', '.join(f'_PR{d}' for d in range(rank))}"
+                  f"{',' if rank == 1 else ''} = _PR")
+            total = " * ".join(f"_GR{d}" for d in range(rank))
+        else:
+            total = "math.prod(_GR)"
+        self.total_expr = total
+        self.line(f"_counters.work_items += {total}")
+        if self.mode == "basic":
+            self._emit_basic_driver(rank, g)
+        elif self.mode == "nd":
+            self._emit_nd_driver(rank, g, lo, pr)
+        else:
+            self._emit_nd_barrier_driver(rank, g, lo, pr)
+
+    def _emit_basic_driver(self, rank, g) -> None:
+        if not rank:
+            self.line("for _i0 in range(math.prod(_GR)):")
+            self.ind += 1
+            self.emit_block(self.fn.body, None, budget=True,
+                            count=self.total_expr)
+            self.ind -= 1
+            return
+        for d in range(rank):
+            self.line(f"for {g[d]} in range(_GR{d}):")
+            self.ind += 1
+        self.emit_block(self.fn.body, None, budget=True,
+                        count=self.total_expr)
+        self.ind -= rank
+
+    def _emit_nd_driver(self, rank, g, lo, pr) -> None:
+        if not rank:
+            raise self.unsup("nd launch of a kernel with no item argument")
+        for d in range(rank):
+            self.line(f"for {pr[d]} in range(_PR{d}):")
+            self.ind += 1
+        for text in self.group_lines:
+            self.line(text)
+        for d in range(rank):
+            self.line(f"for {lo[d]} in range(_LR{d}):")
+            self.ind += 1
+            self.line(f"{g[d]} = {pr[d]} * _LR{d} + {lo[d]}")
+        self.emit_block(self.fn.body, None, budget=True,
+                        count=self.total_expr)
+        self.ind -= 2 * rank
+
+    def _emit_nd_barrier_driver(self, rank, g, lo, pr) -> None:
+        if not rank:
+            raise self.unsup("nd launch of a kernel with no item argument")
+        for d in range(rank):
+            self.line(f"for {pr[d]} in range(_PR{d}):")
+            self.ind += 1
+        for text in self.group_lines:
+            self.line(text)
+        self.line("def _item(_g, _l):")
+        self.ind += 1
+        joined_g = ", ".join(g) + ("," if rank == 1 else "")
+        joined_l = ", ".join(lo) + ("," if rank == 1 else "")
+        self.line(f"{joined_g} = _g")
+        self.line(f"{joined_l} = _l")
+        self.emit_block(self.fn.body, None, budget=True,
+                        count=self.total_expr)
+        self.line("if False: yield None")  # force generator when no barrier
+        self.ind -= 1
+        self.line("_active = []")
+        for d in range(rank):
+            self.line(f"for {lo[d]} in range(_LR{d}):")
+            self.ind += 1
+        gid = ", ".join(f"{pr[d]} * _LR{d} + {lo[d]}" for d in range(rank))
+        lid = ", ".join(lo)
+        comma = "," if rank == 1 else ""
+        self.line(f"_active.append(_item(({gid}{comma}), ({lid}{comma})))")
+        self.ind -= rank
+        # Round-robin to the next barrier, exactly Interpreter._run_group.
+        self.line("while _active:")
+        self.ind += 1
+        self.line("_arrived = []")
+        self.line("for _gen in _active:")
+        self.ind += 1
+        self.line("try:")
+        self.line("    next(_gen)")
+        self.line("except StopIteration:")
+        self.line("    continue")
+        self.line("_arrived.append(_gen)")
+        self.ind -= 1
+        self.line("_active = _arrived")
+        self.ind -= 1
+        self.ind -= rank
+
+    def _emit_function_body(self) -> None:
+        self.pro.insert(0, "    _ret = []")
+        self.emit_block(self.fn.body, None, budget=False, count="1")
+
+    # -- block emission ------------------------------------------------------
+    def emit_block(self, block, arg_kinds, budget: bool,
+                   yield_vars: Optional[List[str]] = None,
+                   count: Optional[str] = None) -> None:
+        """Emit one region block.  ``count`` is the block's execution
+        count as an expression of prologue variables when it is known
+        statically (then no run-time counter is emitted for it)."""
+        if arg_kinds is not None:
+            for block_arg, kind in zip(block.arguments, arg_kinds):
+                self.kinds[id(block_arg)] = kind
+        bid = len(self.blocks)
+        stat = _Stat()
+        self.blocks.append(stat)
+        self.block_static.append(count)
+        if count is None:
+            self.patches.append((len(self.out), self.ind, bid, budget))
+            self.out.append(None)
+        elif budget:
+            self.static_budget.append((count, bid))
+        self.count_stack.append(count)
+        self.scopes.append(set())
+        self.memo_stack.append({})
+        start = len(self.out)
+        op = block.first_op
+        while op is not None:
+            stat.ops += 1
+            self.emit_op(op, stat, yield_vars)
+            op = op.next_op()
+        if len(self.out) == start:
+            self.line("pass")
+        self.memo_stack.pop()
+        self.scopes.pop()
+        self.count_stack.pop()
+
+    # -- single-op emission --------------------------------------------------
+    def emit_op(self, op, stat: _Stat, yield_vars) -> None:
+        name = op.name
+        if name == "arith.constant":
+            value = op.value
+            if isinstance(value, bool):
+                text = repr(value)
+            elif isinstance(value, int):
+                text = repr(value) if value >= 0 else f"({value!r})"
+            elif isinstance(value, float):
+                if math.isnan(value):
+                    text = "math.nan"
+                elif math.isinf(value):
+                    text = "math.inf" if value > 0 else "(-math.inf)"
+                else:
+                    text = repr(value) if value >= 0 else f"({value!r})"
+            else:
+                raise self.unsup(f"constant of value {value!r}")
+            self.kinds[id(op.results[0])] = ("const", text)
+            return
+        if name in self.BIN_INT or name in ("arith.minsi", "arith.maxsi"):
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            if name in self.BIN_INT:
+                body = f"{a} {self.BIN_INT[name]} {b}"
+            else:
+                fun = "min" if name == "arith.minsi" else "max"
+                body = f"{fun}({a}, {b})"
+            if getattr(op.results[0].type, "width", 64) == 1:
+                body = f"bool({body})"
+            self._assign(op.results[0], body)
+            return
+        if name in self.BIN_FLOAT:
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            self._assign(op.results[0],
+                         f"{a} {self.BIN_FLOAT[name]} {b}")
+            return
+        if name in self.BIN_HELPER:
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            self._assign(op.results[0],
+                         f"{self.BIN_HELPER[name]}({a}, {b})")
+            return
+        if name in ("arith.shli", "arith.shrsi"):
+            width = getattr(op.results[0].type, "width", 64)
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            helper = "_shli" if name == "arith.shli" else "_shrsi"
+            self._assign(op.results[0], f"{helper}({a}, {b}, {width})")
+            return
+        if name == "arith.cmpi":
+            predicate = op.predicate
+            sym = self.CMP_INT.get(predicate)
+            if sym is None:
+                raise self.unsup(f"cmpi predicate {predicate!r}")
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            self._assign(op.results[0], f"{a} {sym} {b}")
+            return
+        if name == "arith.cmpf":
+            predicate = op.predicate
+            a, b = self.expr(op.operands[0]), self.expr(op.operands[1])
+            sym = self.CMP_FLOAT_ORDERED.get(predicate)
+            if sym is not None:
+                self._assign(op.results[0], f"{a} {sym} {b}")
+            else:
+                from ..dialects.arith import _FLOAT_PREDICATES
+
+                if predicate not in _FLOAT_PREDICATES:
+                    raise self.unsup(f"cmpf predicate {predicate!r}")
+                self._assign(op.results[0],
+                             f"bool(_FCMP[{predicate!r}]({a}, {b}))")
+            return
+        if name == "arith.select":
+            c = self.expr(op.operands[0])
+            t = self.expr(op.operands[1])
+            f = self.expr(op.operands[2])
+            self._assign(op.results[0], f"({t} if {c} else {f})")
+            return
+        if name in ("arith.index_cast", "arith.extsi"):
+            value = op.operands[0]
+            if _scalar_int_type(value.type) \
+                    and getattr(value.type, "width", 64) != 1:
+                # Already a Python int: aliasing skips a no-op copy.
+                self.kinds[id(op.results[0])] = self.kind_of(value)
+            else:
+                self._assign(op.results[0], f"int({self.expr(value)})")
+            return
+        if name == "arith.trunci":
+            width = op.results[0].type.width
+            mask = (1 << width) - 1
+            body = f"({self.expr(op.operands[0])}) & {mask}"
+            if width == 1:
+                body = f"bool({body})"
+            self._assign(op.results[0], body)
+            return
+        if name == "arith.sitofp":
+            self._assign(op.results[0],
+                         f"float({self.expr(op.operands[0])})")
+            return
+        if name == "arith.fptosi":
+            self._assign(op.results[0],
+                         f"_fptosi({self.expr(op.operands[0])})")
+            return
+        if name in ("arith.extf", "arith.truncf"):
+            value = op.operands[0]
+            kind = self.kind_of(value)
+            if kind[0] in ("const", "scalar"):
+                self.kinds[id(op.results[0])] = kind
+            else:
+                raise self.unsup(f"'{name}' of a non-scalar value")
+            return
+        if name == "arith.negf":
+            self._assign(op.results[0],
+                         f"-float({self.expr(op.operands[0])})")
+            return
+        if name in ("scf.yield", "affine.yield"):
+            if yield_vars is not None and op.operands:
+                exprs = [self.expr(v) for v in op.operands]
+                self.line(f"{', '.join(yield_vars)} = {', '.join(exprs)}")
+            return
+        if name == "func.return":
+            if self.mode == "function":
+                exprs = [self.expr(v) for v in op.operands]
+                self.line(f"_ret = [{', '.join(exprs)}]")
+            elif op.operands:
+                raise self.unsup("kernel returning values")
+            return
+        if name == "scf.if":
+            self._emit_if(op)
+            return
+        if name in ("scf.for", "affine.for"):
+            self._emit_for(op, affine=(name == "affine.for"))
+            return
+        if name == "affine.apply":
+            coefficients = op.coefficients
+            if len(coefficients) != len(op.operands):
+                self.line("raise _TrapError('affine.apply coefficient / "
+                          "operand count mismatch')")
+                self._assign(op.results[0], "0")
+                return
+            terms = [str(op.get_int_attr("constant", 0))]
+            for coefficient, operand in zip(coefficients, op.operands):
+                terms.append(f"({coefficient}) * ({self.expr(operand)})")
+            self._assign(op.results[0], " + ".join(terms))
+            return
+        if name == "affine.min":
+            if not op.operands:
+                raise self.unsup("affine.min with no operands")
+            exprs = [self.expr(v) for v in op.operands]
+            body = exprs[0] if len(exprs) == 1 else \
+                f"min({', '.join(exprs)})"
+            self._assign(op.results[0], body)
+            return
+        if name in ("memref.alloc", "memref.alloca"):
+            self._emit_alloc(op)
+            return
+        if name == "memref.dealloc":
+            return
+        if name == "memref.cast":
+            self.kinds[id(op.results[0])] = self.kind_of(op.operands[0])
+            return
+        if name == "memref.dim":
+            self._emit_dim(op)
+            return
+        if name in ("memref.load", "affine.load"):
+            self._emit_load(op, stat)
+            return
+        if name in ("memref.store", "affine.store"):
+            self._emit_store(op, stat)
+            return
+        if name == "sycl.constructor":
+            self._emit_constructor(op)
+            return
+        if name in ("sycl.id.get", "sycl.range.get"):
+            what = "the id" if name == "sycl.id.get" else "the range"
+            self._emit_component_get(op, what)
+            return
+        if name == "sycl.range.size":
+            self._emit_range_size(op)
+            return
+        if name in ("sycl.item.get_id", "sycl.nd_item.get_global_id",
+                    "sycl.global_id"):
+            self._emit_position(op, self.g_vars, "the global id",
+                                require_local=False)
+            return
+        if name in ("sycl.item.get_linear_id",
+                    "sycl.nd_item.get_global_linear_id"):
+            self._emit_linear(op, self.g_vars, "_GR", require_local=False)
+            return
+        if name in ("sycl.nd_item.get_local_id", "sycl.local_id"):
+            self._emit_position(op, self.l_vars, "the local id",
+                                require_local=True)
+            return
+        if name == "sycl.nd_item.get_local_linear_id":
+            self._emit_linear(op, self.l_vars, "_LR", require_local=True)
+            return
+        if name in ("sycl.nd_item.get_group_id", "sycl.group.get_group_id"):
+            self._emit_position(op, self.p_vars, "the group id",
+                                require_local=True)
+            return
+        if name in ("sycl.item.get_range", "sycl.nd_item.get_global_range"):
+            self._emit_range_component(op, "_GR", "the global range",
+                                       require_local=False)
+            return
+        if name in ("sycl.nd_item.get_local_range",
+                    "sycl.group.get_local_range"):
+            self._emit_range_component(op, "_LR", "the local range",
+                                       require_local=True)
+            return
+        if name in ("sycl.nd_item.get_group_range",
+                    "sycl.group.get_group_range"):
+            self._emit_range_component(op, "_PR", "the group range",
+                                       require_local=True)
+            return
+        if name == "sycl.nd_item.get_group":
+            self._item_operand(op)
+            self._check_local()
+            self.kinds[id(op.results[0])] = ("item",)
+            return
+        if name == "sycl.accessor.subscript":
+            self._emit_subscript(op)
+            return
+        if name == "sycl.accessor.get_pointer":
+            acc = self._acc_of(op.operands[0])
+            self.kinds[id(op.results[0])] = ("view", acc.ref, acc.base,
+                                             False)
+            return
+        if name in ("sycl.accessor.get_range", "sycl.accessor.get_mem_range",
+                    "sycl.accessor.get_offset"):
+            self._emit_accessor_component(op)
+            return
+        if name == "sycl.accessor.size":
+            acc = self._acc_of(op.operands[0])
+            var = acc.ref.flat[:-2]  # "a<i>_f" -> "a<i>"
+            self.kinds[id(op.results[0])] = ("scalar", f"{var}_asz")
+            return
+        if name == "sycl.group_barrier":
+            self._emit_barrier(op, stat)
+            return
+        if name in ("sycl.host.constructor", "sycl.host.schedule_kernel",
+                    "sycl.host.submit"):
+            self.line(f"raise _TrapError(\"host-side operation '{name}' "
+                      f"is not executable by the device interpreter (drive "
+                      f"the host program through the runtime instead)\")")
+            for result in op.results:
+                self.kinds[id(result)] = ("scalar", "None")
+            return
+        raise self.unsup(f"operation '{name}'")
+
+    def _assign(self, result, body: str) -> None:
+        var = self.fresh()
+        self.line(f"{var} = {body}")
+        self.kinds[id(result)] = ("scalar", var)
+
+    # -- structured control flow ---------------------------------------------
+    def _emit_if(self, op) -> None:
+        cond = self.expr(op.operands[0])
+        res_vars = [self.fresh() for _ in op.results]
+        self.line(f"if {cond}:")
+        self.ind += 1
+        self.emit_block(op.then_block, None, budget=False,
+                        yield_vars=res_vars)
+        self.ind -= 1
+        else_block = op.else_block
+        if else_block is not None:
+            self.line("else:")
+            self.ind += 1
+            self.emit_block(else_block, None, budget=False,
+                            yield_vars=res_vars)
+            self.ind -= 1
+        elif res_vars:
+            self.line("else:")
+            self.ind += 1
+            self.line("raise _TrapError('scf.if with results but no else "
+                      "region')")
+            self.ind -= 1
+        for result, var in zip(op.results, res_vars):
+            self.kinds[id(result)] = ("scalar", var)
+
+    def _const_int(self, value) -> Optional[int]:
+        kind = self.kind_of(value)
+        if kind[0] != "const":
+            return None
+        try:
+            return int(kind[1].strip("()"))
+        except ValueError:
+            return None
+
+    def _emit_for(self, op, affine: bool) -> None:
+        if affine:
+            lower = self.expr(op.operands[0])
+            upper = self.expr(op.operands[1])
+            step = op.step
+            carried_init = list(op.operands[2:])
+            if step <= 0:
+                self.line(f"raise _TrapError('affine.for with non-positive "
+                          f"step {step}')")
+                for result in op.results:
+                    self.kinds[id(result)] = ("scalar", "None")
+                return
+            step_text = "" if step == 1 else f", {step}"
+            lo_c = self._const_int(op.operands[0])
+            up_c = self._const_int(op.operands[1])
+            step_c: Optional[int] = step
+        else:
+            lower = self.expr(op.operands[0])
+            upper = self.expr(op.operands[1])
+            step_expr = self.expr(op.operands[2])
+            carried_init = list(op.operands[3:])
+            self.line(f"if {step_expr} <= 0: raise _TrapError("
+                      f"'scf.for with non-positive step ' + "
+                      f"str({step_expr}))")
+            step_text = f", {step_expr}"
+            lo_c = self._const_int(op.operands[0])
+            up_c = self._const_int(op.operands[1])
+            step_c = self._const_int(op.operands[2])
+        # A loop with constant bounds nested in statically counted
+        # blocks is itself statically counted: no per-iteration
+        # bookkeeping in the generated code.
+        parent = self.count_stack[-1]
+        count = None
+        if parent is not None and lo_c is not None and up_c is not None \
+                and step_c is not None and step_c > 0:
+            trips = max(0, -((lo_c - up_c) // step_c))
+            count = f"({parent}) * {trips}"
+        c_vars = [self.fresh("c") for _ in carried_init]
+        if c_vars:
+            inits = [self.expr(v) for v in carried_init]
+            self.line(f"{', '.join(c_vars)} = {', '.join(inits)}")
+        iv = self.fresh("i")
+        self.line(f"for {iv} in range({lower}, {upper}{step_text}):")
+        self.ind += 1
+        arg_kinds = [("scalar", iv)] + [("scalar", c) for c in c_vars]
+        self.emit_block(op.body, arg_kinds, budget=True, yield_vars=c_vars,
+                        count=count)
+        self.ind -= 1
+        for result, var in zip(op.results, c_vars):
+            self.kinds[id(result)] = ("scalar", var)
+
+    # -- memory --------------------------------------------------------------
+    def _emit_alloc(self, op) -> None:
+        from .memory import _numpy_dtype
+
+        hoisted = self.hoisted.get(id(op))
+        if hoisted is not None:
+            self.kinds[id(op.results[0])] = ("stor", hoisted)
+            return
+        memref_type = op.results[0].type
+        if memref_type.memory_space == "local" and self.mode not in (
+                "basic", "function"):
+            raise self.unsup("local alloc outside the kernel entry block")
+        dtype = _numpy_dtype(memref_type.element_type)
+        if dtype is None:
+            # Aggregate elements (!sycl_id_N): a one-slot cell written
+            # by sycl.constructor.  Virtual — the id components flow
+            # through the emitter symbolically, no tuple materializes.
+            if memref_type.num_elements() not in (1, None) \
+                    and memref_type.rank != 0:
+                raise self.unsup("multi-element aggregate alloc")
+            cell = self.fresh("cell")
+            self.kinds[id(op.results[0])] = ("cell", cell)
+            return
+        if not memref_type.has_static_shape():
+            raise self.unsup("alloc with dynamic shape")
+        size = memref_type.num_elements()
+        var = self.fresh("m")
+        self.line(f"{var} = _np.zeros({size}, dtype=_np."
+                  f"{_np.dtype(dtype).name})")
+        self.kinds[id(op.results[0])] = ("stor", _Ref(
+            var, size, tuple(memref_type.shape),
+            is_float(memref_type.element_type),
+            byte_size_of(memref_type.element_type)))
+
+    def _emit_dim(self, op) -> None:
+        kind = self.kind_of(op.operands[0])
+        dim_kind = self.kind_of(op.operands[1])
+        if kind[0] != "stor" or kind[1].shape is None \
+                or dim_kind[0] != "const":
+            self.line("raise _TrapError('memref.dim out of range')")
+            self._assign(op.results[0], "0")
+            return
+        dim = int(dim_kind[1])
+        shape = kind[1].shape
+        if not 0 <= dim < len(shape):
+            self.line(f"raise _TrapError('memref.dim {dim} out of range')")
+            self._assign(op.results[0], "0")
+            return
+        extent = shape[dim]
+        self.kinds[id(op.results[0])] = ("scalar", f"int({extent})"
+                                         if isinstance(extent, str)
+                                         else str(extent))
+
+    def _target_position(self, target, index_values):
+        """(position expr, check lines, ref) for a load/store target."""
+        kind = self.kind_of(target)
+        if kind[0] == "stor":
+            ref = kind[1]
+            shape = ref.shape
+            if shape is None or len(index_values) != len(shape):
+                raise self.unsup("rank-mismatched memref access")
+            if not shape:
+                return "0", [], ref
+            idx = [self.expr(v) for v in index_values]
+            checks = " and ".join(
+                f"0 <= {i} < {e}" for i, e in zip(idx, shape))
+            position = idx[0]
+            for i, extent in zip(idx[1:], shape[1:]):
+                position = f"({position}) * {extent} + {i}"
+            if len(idx) > 1:
+                var = self.fresh("q")
+                lines = [f"if not ({checks}): raise _TrapError('memref "
+                         f"index out of bounds')",
+                         f"{var} = {position}"]
+                return var, lines, ref
+            return position, [f"if not ({checks}): raise _TrapError("
+                              f"'memref index out of bounds')"], ref
+        if kind[0] == "view":
+            _, ref, base, checked = kind
+            if len(index_values) > 1:
+                raise self.unsup("multi-index access through a view")
+            offset = self.expr(index_values[0]) if index_values else "0"
+            if checked and offset == "0":
+                return base, [], ref
+            var = self.fresh("q")
+            lines = [f"{var} = {base} + {offset}",
+                     f"if not 0 <= {var} < {ref.size}: raise _TrapError("
+                     f"'flat index out of bounds')"]
+            return var, lines, ref
+        raise self.unsup(f"load/store through a {kind[0]} value")
+
+    def _emit_load(self, op, stat: _Stat) -> None:
+        position, lines, ref = self._target_position(op.operands[0],
+                                                     list(op.operands[1:]))
+        stat.loads += 1
+        stat.bytes_read += ref.elem_bytes
+        for text in lines:
+            self.line(text)
+        conv = "float" if ref.is_float else "int"
+        self._assign(op.results[0], f"{conv}({ref.flat}[{position}])")
+
+    def _emit_store(self, op, stat: _Stat) -> None:
+        position, lines, ref = self._target_position(op.operands[1],
+                                                     list(op.operands[2:]))
+        stat.stores += 1
+        stat.bytes_written += ref.elem_bytes
+        for text in lines:
+            self.line(text)
+        self.line(f"{ref.flat}[{position}] = {self.expr(op.operands[0])}")
+
+    # -- SYCL ids and accessors ----------------------------------------------
+    def _emit_constructor(self, op) -> None:
+        kind = self.kind_of(op.operands[0])
+        if kind[0] != "cell":
+            raise self.unsup("sycl.constructor into a non-cell destination")
+        cell = kind[1]
+        comps = []
+        for value in op.operands[1:]:
+            if _scalar_int_type(value.type):
+                comps.append(self.expr(value))
+            else:
+                comps.append(f"int({self.expr(value)})")
+        self.scopes[-1].add(cell)
+        self.cell_comps[cell] = comps
+
+    def _cell_is_constructed(self, cell: str) -> bool:
+        return any(cell in scope for scope in self.scopes)
+
+    def _id_components(self, value) -> List[str]:
+        """Component expressions of an evaluated id/range value."""
+        kind = self.kind_of(value)
+        if kind[0] in ("const", "scalar"):
+            return [kind[1]]
+        if kind[0] == "cell":
+            cell = kind[1]
+            if not self._cell_is_constructed(cell):
+                # The interpreter would trap ("read of an unconstructed
+                # SYCL id") or see a construction this emitter cannot
+                # prove dominates the read; both are fallback cases.
+                raise self.unsup(
+                    "id read without a dominating sycl.constructor")
+            return self.cell_comps[cell]
+        raise self.unsup(f"id read of a {kind[0]} value")
+
+    def _emit_component_get(self, op, what: str) -> None:
+        comps = self._id_components(op.operands[0])
+        rank = len(comps)
+        dim = self.const_dim(op)
+        if isinstance(dim, tuple):  # dynamic dimension operand
+            source = f"({', '.join(comps)}{',' if rank == 1 else ''})"
+            self._assign(op.results[0], f"_at({source}, {dim[1]}, "
+                                        f"{what!r})")
+            return
+        if not 0 <= dim < rank:
+            self.line(f"raise _TrapError('dimension {dim} out of range "
+                      f"for {what} of rank {rank}')")
+            self._assign(op.results[0], "0")
+            return
+        self.kinds[id(op.results[0])] = ("scalar", comps[dim])
+
+    def _emit_range_size(self, op) -> None:
+        comps = self._id_components(op.operands[0])
+        self._assign(op.results[0], " * ".join(f"({c})" for c in comps))
+
+    def _check_local(self) -> bool:
+        """Emit the basic-launch trap for work-group queries; returns
+        True when local/group positions exist."""
+        if self.mode == "basic":
+            self.line("raise _TrapError('work-group query on a kernel "
+                      "launched without a local range')")
+            return False
+        return True
+
+    def _item_operand(self, op) -> None:
+        if self.kind_of(op.operands[0])[0] != "item":
+            raise self.unsup("work-item query on a non-item value")
+
+    def _emit_position(self, op, vars_, what: str,
+                       require_local: bool) -> None:
+        self._item_operand(op)
+        if require_local and not self._check_local():
+            self.kinds[id(op.results[0])] = ("scalar", "0")
+            return
+        dim = self.const_dim(op)
+        rank = len(vars_)
+        if isinstance(dim, tuple):
+            comma = "," if rank == 1 else ""
+            self._assign(op.results[0],
+                         f"_at(({', '.join(vars_)}{comma}), {dim[1]}, "
+                         f"{what!r})")
+            return
+        if not 0 <= dim < rank:
+            self.line(f"raise _TrapError('dimension {dim} out of range for "
+                      f"{what} of rank {rank}')")
+            self._assign(op.results[0], "0")
+            return
+        self.kinds[id(op.results[0])] = ("scalar", vars_[dim])
+
+    def _emit_linear(self, op, vars_, range_prefix: str,
+                     require_local: bool) -> None:
+        self._item_operand(op)
+        if require_local and not self._check_local():
+            self.kinds[id(op.results[0])] = ("scalar", "0")
+            return
+        rank = len(vars_)
+        position = vars_[0] if rank else "0"
+        for d in range(1, rank):
+            position = f"({position}) * {range_prefix}{d} + {vars_[d]}"
+        self._assign(op.results[0], position)
+
+    def _emit_range_component(self, op, prefix: str, what: str,
+                              require_local: bool) -> None:
+        self._item_operand(op)
+        if require_local and not self._check_local():
+            self.kinds[id(op.results[0])] = ("scalar", "0")
+            return
+        rank = self.item_rank or 0
+        dim = self.const_dim(op)
+        if isinstance(dim, tuple):
+            self._assign(op.results[0],
+                         f"_at({prefix}, {dim[1]}, {what!r})")
+            return
+        if not 0 <= dim < rank:
+            self.line(f"raise _TrapError('dimension {dim} out of range for "
+                      f"{what} of rank {rank}')")
+            self._assign(op.results[0], "0")
+            return
+        self.kinds[id(op.results[0])] = ("scalar", f"{prefix}{dim}")
+
+    def _acc_of(self, value) -> _Acc:
+        kind = self.kind_of(value)
+        if kind[0] != "acc":
+            raise self.unsup(
+                f"accessor operation on a {kind[0]} value")
+        return kind[1]
+
+    def _emit_subscript(self, op) -> None:
+        acc = self._acc_of(op.operands[0])
+        var = acc.ref.flat[:-2]  # "a<i>_f" -> "a<i>"
+        comps = self._id_components(op.operands[1])
+        if len(comps) != acc.dims:
+            self.line(f"raise _TrapError('accessor expects {acc.dims} "
+                      f"indices, got {len(comps)}')")
+            self.kinds[id(op.results[0])] = ("view", acc.ref, "0", False)
+            return
+        # Scoped CSE: an identical subscript of the same accessor in the
+        # same (or an enclosing) block addresses the same element —
+        # ``load C[i,j] ... store C[i,j]`` computes its position once.
+        memo_key = (var, tuple(comps))
+        for memo in self.memo_stack:
+            hit = memo.get(memo_key)
+            if hit is not None:
+                self.kinds[id(op.results[0])] = hit
+                return
+        if acc.dims == 1:
+            position = f"({comps[0]} + {var}_o0)"
+            self.line(f"if not (0 <= {position} < {var}_m0): raise "
+                      f"_TrapError('accessor index out of bounds for "
+                      f"buffer of shape ' + repr({var}_mr))")
+        else:
+            abs_vars = []
+            for k, comp in enumerate(comps):
+                abs_var = self.fresh("q")
+                self.line(f"{abs_var} = {comp} + {var}_o{k}")
+                abs_vars.append(abs_var)
+            checks = " and ".join(
+                f"0 <= {a} < {var}_m{k}" for k, a in enumerate(abs_vars))
+            self.line(f"if not ({checks}): raise _TrapError('accessor "
+                      f"index out of bounds for buffer of shape ' + "
+                      f"repr({var}_mr))")
+            position = abs_vars[0]
+            for k in range(1, acc.dims):
+                position = f"({position}) * {var}_m{k} + {abs_vars[k]}"
+            pos_var = self.fresh("q")
+            self.line(f"{pos_var} = {position}")
+            position = pos_var
+        view = ("view", acc.ref, position, True)
+        self.memo_stack[-1][memo_key] = view
+        self.kinds[id(op.results[0])] = view
+
+    def _emit_accessor_component(self, op) -> None:
+        acc = self._acc_of(op.operands[0])
+        var = acc.ref.flat[:-2]
+        source, what = {
+            "sycl.accessor.get_range": (f"{var}_ar", "the accessor range"),
+            "sycl.accessor.get_mem_range": (f"{var}_mr",
+                                            "the accessor mem range"),
+            "sycl.accessor.get_offset": (f"{var}_off",
+                                         "the accessor offset"),
+        }[op.name]
+        dim = self.const_dim(op)
+        if isinstance(dim, tuple):
+            self._assign(op.results[0],
+                         f"_at({source}, {dim[1]}, {what!r})")
+            return
+        if not 0 <= dim < acc.dims:
+            self.line(f"raise _TrapError('dimension {dim} out of range for "
+                      f"{what} of rank {acc.dims}')")
+            self._assign(op.results[0], "0")
+            return
+        if op.name == "sycl.accessor.get_mem_range":
+            self.kinds[id(op.results[0])] = ("scalar", f"{var}_m{dim}")
+        elif op.name == "sycl.accessor.get_offset":
+            self.kinds[id(op.results[0])] = ("scalar", f"{var}_o{dim}")
+        else:
+            self._assign(op.results[0], f"{source}[{dim}]")
+
+    def _emit_barrier(self, op, stat: _Stat) -> None:
+        if self.mode in ("basic", "function"):
+            self.line("raise _TrapError('sycl.group_barrier outside "
+                      "work-group execution (launch the kernel with a "
+                      "local range)')")
+            return
+        if not self.uses_generator:
+            raise self.unsup(
+                "barrier outside the nd-barrier compilation mode")
+        stat.barriers += 1
+        self.line("yield _BARRIER")
+
+
+# ---------------------------------------------------------------------------
+# Executable cache (in-memory LRU + optional DiskCache persistence)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompiledExecutable:
+    """One compiled function: generated source plus its entry point."""
+
+    kernel: str
+    mode: str
+    source: str
+    entry: object
+    origin: str = "fresh"  # "fresh" | "memory" | "disk"
+
+
+class ExecutableCache:
+    """Fingerprint-keyed cache of :class:`CompiledExecutable`.
+
+    Keys are ``(text_fingerprint(printed function), "jit:<mode>")`` —
+    the compile-cache key scheme — so a structurally identical function
+    hits regardless of object identity, and a :class:`DiskCache` can
+    persist the generated source under the same address (the source
+    *is* the entry text; rehydration is ``compile()`` + ``exec``).
+    """
+
+    def __init__(self, max_entries: int = 128, disk=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk = disk
+        self._entries: "OrderedDict[Tuple[str, str], CompiledExecutable]" \
+            = OrderedDict()
+        self._keys_by_id: Dict[Tuple[int, str], Tuple[object, Tuple]] = {}
+        self.stats = {"hits": 0, "misses": 0, "stores": 0,
+                      "disk_hits": 0, "disk_stores": 0}
+
+    def key_for(self, function, mode: str) -> Tuple[str, str]:
+        """The cache key of ``function`` under ``mode``.
+
+        Memoized per function object (the held reference keeps ``id``
+        stable) — printing the IR on every launch would cost more than
+        small kernels take to run.
+        """
+        from ..transforms.compile_cache import text_fingerprint
+
+        memo_key = (id(function), mode)
+        memo = self._keys_by_id.get(memo_key)
+        if memo is not None and memo[0] is function:
+            return memo[1]
+        printed = Printer().print_op_to_string(function)
+        key = (text_fingerprint(printed), f"jit:{mode}")
+        if len(self._keys_by_id) > 4 * self.max_entries:
+            self._keys_by_id.clear()
+        self._keys_by_id[memo_key] = (function, key)
+        return key
+
+    def lookup(self, key) -> Optional[CompiledExecutable]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats["misses"] += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats["hits"] += 1
+        return entry
+
+    def store(self, key, executable: CompiledExecutable) -> None:
+        self._entries[key] = executable
+        self._entries.move_to_end(key)
+        self.stats["stores"] += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def describe(self) -> Dict[str, object]:
+        info: Dict[str, object] = dict(self.stats)
+        info["entries"] = len(self._entries)
+        if self.disk is not None:
+            info["disk"] = self.disk.describe()
+        return info
+
+
+def compile_executable(function, mode: str,
+                       cache: Optional[ExecutableCache] = None,
+                       ) -> CompiledExecutable:
+    """Compile ``function`` for ``mode``, through ``cache`` when given.
+
+    Raises :class:`JITUnsupportedError` for uncompilable input and
+    propagates :class:`~repro.faults.TransientFault` from the
+    ``jit.compile`` fault point.
+    """
+    key = None
+    if cache is not None:
+        key = cache.key_for(function, mode)
+        hit = cache.lookup(key)
+        if hit is not None:
+            return CompiledExecutable(hit.kernel, hit.mode, hit.source,
+                                      hit.entry, origin="memory")
+    source = None
+    origin = "fresh"
+    if cache is not None and cache.disk is not None:
+        payload = cache.disk.load(key)
+        if payload is not None:
+            source = payload["text"]
+            origin = "disk"
+            cache.stats["disk_hits"] += 1
+    injected = None
+    if source is None:
+        source = _Emitter(function, mode).emit()
+        injected = fault_point(
+            "jit.compile", key=key[0] if key else function.sym_name)
+        if injected == "corrupt":
+            source = ("def _run(_args, _GR, _LR, _PR, _counters, "
+                      "_max_steps):\n    raise RuntimeError('injected "
+                      "corrupt jit executable')\n")
+    entry = None
+    try:
+        entry = _load_source(function, source)
+    except SyntaxError:
+        if origin != "disk":
+            raise
+        # A mangled disk entry that still passed its fingerprint (or an
+        # emitter-version skew): evict it and compile cold.
+        cache.disk.recover(key)
+        source = _Emitter(function, mode).emit()
+        origin = "fresh"
+        entry = _load_source(function, source)
+    executable = CompiledExecutable(function.sym_name, mode, source, entry,
+                                    origin=origin)
+    if cache is not None and injected is None:
+        cache.store(key, executable)
+        if cache.disk is not None and origin == "fresh":
+            if cache.disk.store(key, source):
+                cache.stats["disk_stores"] += 1
+    return executable
+
+
+def _load_source(function, source: str):
+    code = compile(source, f"<repro-jit:{function.sym_name}>", "exec")
+    namespace = _jit_namespace()
+    exec(code, namespace)
+    return namespace["_run"]
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+def _merge_counters(into, delta) -> None:
+    for field_name, value in delta.as_dict().items():
+        setattr(into, field_name, getattr(into, field_name) + value)
+
+
+#: ``id(function)`` -> whether its body contains a group barrier.  The
+#: walk is per-launch overhead otherwise; entries are evicted wholesale
+#: once the table grows past the bound (function identity is stable for
+#: the lifetime of a module, and a stale entry only costs a re-walk).
+_BARRIER_MEMO: Dict[int, bool] = {}
+
+
+def _contains_barrier(function) -> bool:
+    key = id(function)
+    cached = _BARRIER_MEMO.get(key)
+    if cached is None:
+        cached = any(op.name == "sycl.group_barrier"
+                     for op in function.walk())
+        if len(_BARRIER_MEMO) > 512:
+            _BARRIER_MEMO.clear()
+        _BARRIER_MEMO[key] = cached
+    return cached
+
+
+def _cache_of(engine) -> ExecutableCache:
+    cache = engine.executable_cache
+    if cache is None:
+        cache = ExecutableCache()
+        engine.executable_cache = cache
+    return cache
+
+
+@register_executor("jit")
+class JITBackend(Backend):
+    """Compile-to-Python tier: one generated function per kernel."""
+
+    NAME = "jit"
+
+    def _compile(self, engine, function, mode: str) -> CompiledExecutable:
+        if _np is None:
+            raise TierFallback("jit tier requires NumPy")
+        try:
+            return compile_executable(function, mode,
+                                      cache=_cache_of(engine))
+        except JITUnsupportedError as error:
+            raise TierFallback(str(error)) from error
+        except TransientFault as error:
+            raise TierFallback(
+                f"injected jit compile fault: {error}") from error
+
+    def _pre_exec_faults(self, function) -> None:
+        try:
+            injected = fault_point("jit.exec", key=function.sym_name)
+        except TransientFault as error:
+            raise TierFallback(
+                f"injected jit execution fault: {error}") from error
+        if injected == "corrupt":
+            raise TierFallback("injected corrupt jit execution state")
+
+    def _invoke(self, executable, function, run_args, gr, lr, pr,
+                counters, max_steps):
+        try:
+            executable.entry(run_args, gr, lr, pr, counters, max_steps)
+        except (TrapError, TransientFault):
+            raise
+        except _GuardFallback as guard:
+            # Prologue guards fire before any side effect.
+            raise TierFallback(str(guard)) from guard
+        except OverflowError as error:
+            raise TrapError(
+                f"value exceeds the range of the storage element: "
+                f"{error}") from None
+        except InterpreterError:
+            raise
+        except Exception as error:  # noqa: BLE001 - degradation boundary
+            raise JITExecutionError(
+                f"generated executable for '{function.sym_name}' failed: "
+                f"{error!r}") from error
+
+    def launch(self, engine, function, values, global_size,
+               local_size=None, interpreter=None):
+        from .interpreter import Interpreter, LaunchResult
+        from ..runtime.ndrange import NDRange, Range
+
+        interp = interpreter or Interpreter(engine.module,
+                                            max_steps=engine.max_steps)
+        global_range = global_size if isinstance(global_size, Range) \
+            else Range(global_size)
+        local_range = group_range = None
+        if local_size is not None:
+            nd_range = NDRange(global_range, local_size if isinstance(
+                local_size, Range) else Range(local_size))
+            local_range = nd_range.local_range
+            group_range = nd_range.group_range
+        if local_range is None:
+            mode = "basic"
+        else:
+            mode = "nd-barrier" if _contains_barrier(function) else "nd"
+        executable = self._compile(engine, function, mode)
+        plan = interp._bind_arguments(function, values)
+        run_args = [None if entry[0] == "item" else entry[1]
+                    for entry in plan]
+        self._pre_exec_faults(function)
+        from .memory import ExecutionCounters
+
+        counters = ExecutionCounters()
+        self._invoke(executable, function, run_args, tuple(global_range),
+                     tuple(local_range) if local_range else None,
+                     tuple(group_range) if group_range else None,
+                     counters, engine.max_steps)
+        # Mirror Interpreter.launch: cumulative interpreter counters
+        # advance too, the result reports this launch's delta.
+        _merge_counters(interp.counters, counters)
+        return LaunchResult(function.sym_name, global_range.size(),
+                            counters)
+
+    def call(self, engine, function, values, interpreter=None):
+        from .memory import ExecutionCounters
+
+        executable = self._compile(engine, function, "function")
+        self._pre_exec_faults(function)
+        counters = ExecutionCounters()
+        run_args = list(values)
+        try:
+            results = executable.entry(run_args, None, None, None,
+                                       counters, engine.max_steps)
+        except (TrapError, TransientFault):
+            raise
+        except _GuardFallback as guard:
+            raise TierFallback(str(guard)) from guard
+        except OverflowError as error:
+            raise TrapError(
+                f"value exceeds the range of the storage element: "
+                f"{error}") from None
+        except InterpreterError:
+            raise
+        except Exception as error:  # noqa: BLE001 - degradation boundary
+            raise JITExecutionError(
+                f"generated executable for '{function.sym_name}' failed: "
+                f"{error!r}") from error
+        if interpreter is not None:
+            _merge_counters(interpreter.counters, counters)
+        return list(results), counters

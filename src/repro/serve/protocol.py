@@ -13,6 +13,9 @@ Request shape::
     {"id": 2, "method": "status"}
     {"id": 3, "method": "ping"}
     {"id": 4, "method": "shutdown"}
+    {"id": 5, "method": "execute", "ir": "...", "entry": "gemm",
+     "tier": "auto", "passes": "spec", "global_size": [8, 8],
+     "local_size": [4, 4], "buffers": {"A": [8, 8]}, "scalars": {}}
 
 Response shapes::
 
@@ -23,6 +26,17 @@ Response shapes::
      "cached": false}
     {"id": 1, "event": "done", "ok": false, "error": "...",
      "kind": "parse-error", "retryable": false}
+    {"id": 5, "event": "done", "ok": true, "entry": "gemm",
+     "tier": "vector", "results": [], "memory": {"A": [...]},
+     "counters": {"ops": 640}, "remarks": [...]}
+
+``execute`` runs an entry function of the supplied IR through the
+tiered :class:`~repro.interp.engine.ExecutionEngine` (``tier`` defaults
+to ``"auto"``) after optionally applying a pass pipeline, and reports
+the results, final buffer contents, execution counters, the tier that
+actually ran, and any tier-fallback remarks.  Compiled executables are
+cached daemon-wide by structural fingerprint, so repeated execution of
+the same kernel text skips Python codegen entirely.
 
 ``retryable`` marks failures the client may simply resend (an injected
 or environmental transient); everything else is a property of the
@@ -48,7 +62,7 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8791
 
 #: Methods the service dispatches; anything else is a request error.
-METHODS = ("compile", "status", "ping", "shutdown")
+METHODS = ("compile", "execute", "status", "ping", "shutdown")
 
 
 class ProtocolError(ValueError):

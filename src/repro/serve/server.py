@@ -1,8 +1,10 @@
-"""The ``repro-served`` daemon: a compile service over NDJSON/TCP.
+"""The ``repro-served`` daemon: a compile/execute service over NDJSON/TCP.
 
 Architecture: a :class:`CompileService` owns the state worth keeping
 alive — one two-tier :class:`~repro.transforms.CompileCache` (optionally
-backed by an on-disk :class:`~repro.transforms.DiskCache`), one shared
+backed by an on-disk :class:`~repro.transforms.DiskCache`), one
+daemon-wide :class:`~repro.interp.jit.ExecutableCache` serving the
+``execute`` method's JIT tier, one shared
 :class:`~repro.analysis.AnalysisManager` (internally locked, so every
 request thread talks to the same instance), and a pool of constructed
 :class:`~repro.transforms.PassManager` instances keyed by canonical
@@ -104,6 +106,12 @@ class CompileService:
             kwargs = {} if max_bytes is None else {"max_bytes": max_bytes}
             disk = DiskCache(cache_dir, **kwargs)
         self.cache = CompileCache(max_entries=max_entries, disk=disk)
+        # Daemon-wide executable cache for the "execute" method: keyed
+        # by structural fingerprint, so re-executing the same kernel
+        # text across requests (and connections) skips Python codegen.
+        from ..interp.jit import ExecutableCache
+
+        self.executables = ExecutableCache(disk=disk)
         self.analysis_manager = AnalysisManager()
         self._pool: Dict[str, List[PassManager]] = {}
         self._pool_lock = threading.Lock()
@@ -111,6 +119,7 @@ class CompileService:
         self._started = time.monotonic()
         self.requests = 0
         self.compiles = 0
+        self.executions = 0
         self.errors = 0
 
     # -- manager pool --------------------------------------------------------
@@ -169,6 +178,8 @@ class CompileService:
         if method == "shutdown":
             return {"id": request_id, "event": "done", "ok": True,
                     "shutdown": True}
+        if method == "execute":
+            return self._execute(request_id, request)
         return self._compile(request_id, request, emit)
 
     def _error(self, request_id, message: str, kind: str = "request-error",
@@ -181,6 +192,7 @@ class CompileService:
     def _status(self, request_id) -> dict:
         with self._stats_lock:
             counters = {"requests": self.requests, "compiles": self.compiles,
+                        "executions": self.executions,
                         "errors": self.errors}
         return {
             "id": request_id,
@@ -189,6 +201,7 @@ class CompileService:
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "cache": self.cache.describe(),
+            "executables": self.executables.describe(),
             "analyses": self.analysis_manager.describe(),
             "pool": self.pool_sizes(),
             **counters,
@@ -244,6 +257,89 @@ class CompileService:
                            for s in report.statistics],
             "remarks": list(report.remarks),
             "cached": report.get_statistic("compile-cache", "hits") > 0,
+        }
+
+    # -- execute -------------------------------------------------------------
+    def _execute(self, request_id, request: dict) -> dict:
+        from ..interp.differential import (
+            ExecutionSpec,
+            _executable_functions,
+            synthesize_spec,
+        )
+        from ..interp.engine import ExecutionEngine
+        from ..interp.memory import InterpreterError, TrapError
+
+        ir = request.get("ir")
+        if not isinstance(ir, str) or not ir.strip():
+            return self._error(request_id, "execute request carries no IR")
+        try:
+            module = parse_module(ir, filename="<request>")
+        except ParseError as exc:
+            return self._error(request_id, f"parse error: {exc}",
+                               kind="parse-error")
+        spec_text = request.get("passes") or request.get("pipeline")
+        try:
+            if request.get("verify", True):
+                verify(module)
+            if isinstance(spec_text, str) and spec_text.strip():
+                manager = self._checkout(spec_text)
+                try:
+                    manager.run(module)
+                finally:
+                    self._checkin(manager)
+        except VerificationError as exc:
+            return self._error(request_id, f"verification failed: {exc}",
+                               kind="verify-error")
+        except ValueError as exc:
+            return self._error(request_id, str(exc), kind="pipeline-error")
+
+        functions = _executable_functions(module)
+        entry_name = request.get("entry")
+        if entry_name:
+            entry = next((f for f in functions
+                          if f.sym_name == entry_name), None)
+            if entry is None:
+                names = ", ".join(f.sym_name for f in functions) or "none"
+                return self._error(
+                    request_id, f"no executable function named "
+                    f"'{entry_name}' (available: {names})")
+        elif len(functions) == 1:
+            entry = functions[0]
+        else:
+            return self._error(
+                request_id, "execute request must name an 'entry' when "
+                f"the module defines {len(functions)} functions")
+
+        spec = ExecutionSpec(
+            global_size=tuple(request["global_size"])
+            if request.get("global_size") else None,
+            local_size=tuple(request["local_size"])
+            if request.get("local_size") else None,
+            buffers={name: tuple(shape) for name, shape
+                     in (request.get("buffers") or {}).items()},
+            scalars=dict(request.get("scalars") or {}))
+        try:
+            engine = ExecutionEngine(
+                module, tier=request.get("tier", "auto"),
+                max_steps=int(request.get("max_steps", 10_000_000)),
+                executable_cache=self.executables)
+            execution = engine.execute(entry, synthesize_spec(entry, spec))
+        except (InterpreterError, TrapError, ValueError) as exc:
+            return self._error(request_id, str(exc), kind="execute-error")
+        with self._stats_lock:
+            self.executions += 1
+        return {
+            "id": request_id,
+            "event": "done",
+            "ok": True,
+            "entry": execution.name,
+            "kind": execution.kind,
+            "tier": execution.tier,
+            "results": list(execution.results),
+            "memory": {name: list(values)
+                       for name, values in execution.memory.items()},
+            "counters": dict(execution.counters),
+            "remarks": list(engine.remarks),
         }
 
 

@@ -16,6 +16,12 @@ Useful flags::
         --buffer A=8x8 --buffer B=8x8 --buffer C=8x8 \\
         --pipeline sycl-mlir --print-buffers --cost-report
 
+``--tier`` selects the execution tier (``auto`` by default: vectorized
+NumPy execution when the kernel is divergence-free, the compile-to-Python
+JIT otherwise, the scalar interpreter as the last resort); fallback
+decisions are reported on stderr and the tier that actually ran is shown
+in the output header.  ``--list-tiers`` enumerates the registry.
+
 ``--arg name=value`` sets scalar arguments by name (block-argument name
 hints; ``argN`` positions work too).  ``--cost-report`` prints a roofline
 estimate of the executed operation/byte counts against a
@@ -37,9 +43,9 @@ from ..ir import ParseError, VerificationError, parse_module, verify
 from ..interp.differential import (
     ExecutionSpec,
     _executable_functions,
-    execute_function,
     synthesize_spec,
 )
+from ..interp.engine import ExecutionEngine, registered_executors
 from ..interp.memory import InterpreterError, TrapError
 from ..runtime.device import (
     DeviceSpec,
@@ -108,6 +114,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--device", default="max1100", choices=sorted(DEVICES),
         help="device model used by --cost-report (default: max1100)")
+    parser.add_argument(
+        "--tier", default="auto", metavar="TIER",
+        help="execution tier: auto (default), interp, jit, vector, or "
+             "any registered executor (see --list-tiers); non-interp "
+             "tiers fall back to the interpreter when a kernel is "
+             "unsupported")
+    parser.add_argument(
+        "--list-tiers", action="store_true",
+        help="list the registered execution tiers and exit")
     parser.add_argument(
         "--max-steps", type=int, default=10_000_000,
         help="interpreter step budget (default 10M ops)")
@@ -232,6 +247,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
+    if args.list_tiers:
+        print("auto")
+        for name in registered_executors():
+            print(name)
+        return 0
+
     if args.passes and args.pipeline:
         print("repro-run: --passes and --pipeline are mutually exclusive",
               file=sys.stderr)
@@ -315,9 +336,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
+        engine = ExecutionEngine(module, tier=args.tier,
+                                 max_steps=args.max_steps)
+    except ValueError as exc:
+        # Unknown --tier name: usage error.
+        print(f"repro-run: {exc}", file=sys.stderr)
+        return 2
+    try:
         resolved = synthesize_spec(entry, spec)
-        execution = execute_function(module, entry, resolved,
-                                     max_steps=args.max_steps)
+        execution = engine.execute(entry, resolved)
     except (InterpreterError, TrapError, ValueError) as exc:
         # ValueError covers runtime-object validation (e.g. an NDRange
         # whose local rank mismatches --global-size); the exit-code
@@ -325,12 +352,16 @@ def _main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-run: execution failed: {exc}", file=sys.stderr)
         return 1
 
+    for remark in engine.remarks:
+        print(f"repro-run: {remark}", file=sys.stderr)
+
     header = f"@{execution.name}"
     if execution.kind == "kernel":
         size = "x".join(str(e) for e in resolved.global_size)
         local = ("x".join(str(e) for e in resolved.local_size)
                  if resolved.local_size else "none")
         header += f" launched over {size} (local: {local})"
+    header += f" [tier: {execution.tier}]"
     print(header)
     for index, value in enumerate(execution.results):
         shown = f"{value:.6g}" if isinstance(value, float) else value

@@ -1,0 +1,388 @@
+"""Tests for the tiered execution engine (interp / jit / vector).
+
+The heart of the file is the tier-equivalence matrix: every paper
+listing kernel and the internalizing GEMM must produce identical
+results on the scalar interpreter, the compile-to-Python JIT and the
+vectorized ND-range tier — before and after every shipped pipeline.
+"""
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.faults import fault_plan
+from repro.interp.differential import (
+    DifferentialError,
+    compare_executions,
+    execute_function,
+    execute_module,
+    run_differential,
+    synthesize_spec,
+)
+from repro.interp.engine import (
+    Backend,
+    ExecutionEngine,
+    ExecutorRegistrationError,
+    TierFallback,
+    _EXECUTORS,
+    _reset_deprecation_warnings,
+    register_executor,
+    registered_executors,
+)
+from repro.interp.jit import ExecutableCache, _Emitter, compile_executable
+from repro.interp.vectorize import vector_legality
+from repro.transforms.disk_cache import DiskCache
+
+from .helpers import (
+    build_gemm_module,
+    build_listing1_function,
+    build_listing2_function,
+    build_listing3_function,
+    listing_execution_specs,
+    wrap_in_module,
+)
+
+TIERS = ("interp", "jit", "vector")
+PIPELINES = ("sycl-mlir", "dpcpp", "adaptivecpp-aot", "adaptivecpp-jit")
+
+
+def _listing_module():
+    return wrap_in_module(build_listing1_function()[0],
+                          build_listing2_function()[0],
+                          build_listing3_function()[0])
+
+
+def _execute_all(module, specs, tier):
+    engine = ExecutionEngine(module, tier=tier)
+    executions, skipped = engine.execute_module(specs)
+    assert not skipped, skipped
+    return executions, engine
+
+
+# ---------------------------------------------------------------------------
+# Tier-equivalence matrix
+# ---------------------------------------------------------------------------
+
+class TestTierEquivalence:
+    @pytest.mark.parametrize("tier", ("jit", "vector", "auto"))
+    def test_listings_match_interpreter(self, tier):
+        module = _listing_module()
+        specs = listing_execution_specs()
+        baseline, _ = _execute_all(module, specs, "interp")
+        tiered, _ = _execute_all(module, specs, tier)
+        assert set(tiered) == set(baseline)
+        for name, before in baseline.items():
+            compare_executions(before, tiered[name])
+
+    @pytest.mark.parametrize("tier", ("jit", "vector", "auto"))
+    def test_gemm_matches_interpreter(self, tier):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        baseline, _ = _execute_all(module, specs, "interp")
+        tiered, _ = _execute_all(module, specs, tier)
+        compare_executions(baseline["gemm"], tiered["gemm"])
+
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_gemm_differential_per_pipeline(self, pipeline, tier):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        report = run_differential(module, pipeline, specs=specs, tier=tier)
+        assert "gemm" in report.executed
+
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_listings_differential_per_pipeline(self, pipeline, tier):
+        module = _listing_module()
+        specs = listing_execution_specs()
+        report = run_differential(module, pipeline, specs=specs, tier=tier)
+        assert report.executed  # at least one listing executed both sides
+
+    def test_explicit_tier_is_reported(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        for tier in TIERS:
+            executions, _ = _execute_all(module, specs, tier)
+            assert executions["gemm"].tier == tier
+
+
+# ---------------------------------------------------------------------------
+# Vector-tier legality and fallback
+# ---------------------------------------------------------------------------
+
+class TestVectorFallback:
+    def test_divergent_kernel_falls_back_with_remark(self):
+        module = _listing_module()
+        specs = listing_execution_specs()
+        engine = ExecutionEngine(module, tier="vector")
+        executions, _ = engine.execute_module(specs)
+        # Listing 2 branches on the global id: lanes would diverge.
+        assert executions["non_uniform"].tier == "interp"
+        assert any("divergent" in remark for remark in engine.remarks)
+        # Listing 3 is straight-line: it vectorizes.
+        assert executions["mem_acc"].tier == "vector"
+
+    def test_vector_legality_reasons(self):
+        module = _listing_module()
+        divergent = module.lookup_symbol("non_uniform")
+        assert "divergent" in vector_legality(divergent)
+        straight = module.lookup_symbol("mem_acc")
+        assert vector_legality(straight) is None
+
+    def test_plain_function_never_vectorizes(self):
+        module = _listing_module()
+        engine = ExecutionEngine(module, tier="vector")
+        executions, _ = engine.execute_module(listing_execution_specs())
+        assert executions["foo"].tier == "interp"
+
+
+# ---------------------------------------------------------------------------
+# Executable cache
+# ---------------------------------------------------------------------------
+
+class TestExecutableCache:
+    def test_memory_hit_and_miss(self):
+        module, _ = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        cache = ExecutableCache()
+        first = compile_executable(function, "nd", cache=cache)
+        second = compile_executable(function, "nd", cache=cache)
+        assert second.entry is first.entry
+        assert second.origin == "memory"
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 1
+        # A different mode is a different key.
+        compile_executable(function, "nd-barrier", cache=cache)
+        assert cache.stats["misses"] == 2
+
+    def test_fingerprint_keyed_across_clones(self):
+        module, _ = build_gemm_module(size=4, work_group=2)
+        cache = ExecutableCache()
+        compile_executable(module.lookup_symbol("gemm"), "nd", cache=cache)
+        clone = module.clone({})
+        compile_executable(clone.lookup_symbol("gemm"), "nd", cache=cache)
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1,
+                               "disk_hits": 0, "disk_stores": 0}
+
+    def test_disk_round_trip(self, tmp_path):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        disk = DiskCache(str(tmp_path / "cache"))
+        warm = ExecutableCache(disk=disk)
+        compile_executable(function, "nd", cache=warm)
+        assert warm.stats["disk_stores"] == 1
+        # A cold in-memory cache sharing the directory rehydrates the
+        # generated source instead of re-emitting it.
+        cold = ExecutableCache(disk=DiskCache(str(tmp_path / "cache")))
+        executable = compile_executable(function, "nd", cache=cold)
+        assert cold.stats["disk_hits"] == 1
+        # The rehydrated executable actually runs.
+        engine = ExecutionEngine(module, tier="jit",
+                                 executable_cache=cold)
+        executions, _ = engine.execute_module(specs)
+        assert executions["gemm"].tier == "jit"
+        assert executable.entry is not None
+
+
+# ---------------------------------------------------------------------------
+# The oracle catches a miscompiling emitter
+# ---------------------------------------------------------------------------
+
+class TestSeededMiscompile:
+    def test_wrong_codegen_is_caught(self, monkeypatch):
+        # Seed a deliberate bug: float addition emitted as subtraction.
+        monkeypatch.setitem(_Emitter.BIN_FLOAT, "arith.addf", "-")
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        resolved = synthesize_spec(function, specs["gemm"])
+        before = ExecutionEngine(module, tier="interp").execute(
+            function, resolved)
+        after = ExecutionEngine(module, tier="jit").execute(
+            function, resolved)
+        assert after.tier == "jit"
+        with pytest.raises(DifferentialError):
+            compare_executions(before, after)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: jit.compile / jit.exec degrade to the interpreter
+# ---------------------------------------------------------------------------
+
+class TestFaultDegradation:
+    def _baseline(self, module, function, resolved):
+        return ExecutionEngine(module, tier="interp").execute(
+            function, resolved)
+
+    def test_corrupt_compile_degrades_with_remark(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        resolved = synthesize_spec(function, specs["gemm"])
+        baseline = self._baseline(module, function, resolved)
+        with fault_plan("jit.compile=corrupt"):
+            engine = ExecutionEngine(module, tier="jit")
+            execution = engine.execute(function, resolved)
+        assert execution.tier == "interp"
+        assert any("jit" in r for r in engine.remarks)
+        compare_executions(baseline, execution)
+
+    def test_transient_exec_falls_back_with_remark(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        resolved = synthesize_spec(function, specs["gemm"])
+        baseline = self._baseline(module, function, resolved)
+        with fault_plan("jit.exec@gemm=transient"):
+            engine = ExecutionEngine(module, tier="jit")
+            execution = engine.execute(function, resolved)
+        assert execution.tier == "interp"
+        assert any("injected" in r for r in engine.remarks)
+        compare_executions(baseline, execution)
+
+
+# ---------------------------------------------------------------------------
+# The executor registry
+# ---------------------------------------------------------------------------
+
+class TestExecutorRegistry:
+    def test_builtin_tiers_registered(self):
+        names = registered_executors()
+        for name in TIERS:
+            assert name in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExecutorRegistrationError):
+            register_executor("jit", Backend())
+
+    def test_unknown_tier_rejected(self):
+        module = _listing_module()
+        with pytest.raises(ValueError, match="unknown execution tier"):
+            ExecutionEngine(module, tier="cuda")
+
+    def test_custom_tier_participates_in_plan(self):
+        class Declining(Backend):
+            NAME = "declining"
+
+            def launch(self, engine, function, values, global_size,
+                       local_size=None, interpreter=None):
+                raise TierFallback("declines everything")
+
+            def call(self, engine, function, values, interpreter=None):
+                raise TierFallback("declines everything")
+
+        register_executor("declining", Declining())
+        try:
+            module = _listing_module()
+            engine = ExecutionEngine(module, tier="declining")
+            assert engine.tier_plan() == ("declining", "interp")
+            executions, _ = engine.execute_module(
+                listing_execution_specs())
+            assert all(e.tier == "interp" for e in executions.values())
+            assert engine.remarks
+        finally:
+            _EXECUTORS.pop("declining", None)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated entry-point shims
+# ---------------------------------------------------------------------------
+
+class TestDeprecationShims:
+    def _one_warning(self, invoke):
+        _reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            invoke()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            invoke()  # the shim warns once per process, not per call
+
+    def test_execute_function_shim(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        resolved = synthesize_spec(function, specs["gemm"])
+        self._one_warning(
+            lambda: execute_function(module, function, resolved))
+
+    def test_execute_module_shim(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        self._one_warning(lambda: execute_module(module, specs))
+
+    def test_interpreter_launch_shim(self):
+        from repro.interp.interpreter import Interpreter
+        from repro.runtime.accessor import Accessor
+        from repro.runtime.buffer import Buffer
+
+        module, _ = build_gemm_module(size=4, work_group=2)
+
+        def invoke():
+            interp = Interpreter(module)
+            args = [Accessor(Buffer((4, 4)), "read"),
+                    Accessor(Buffer((4, 4)), "read"),
+                    Accessor(Buffer((4, 4)), "read_write")]
+            interp.launch("gemm", args, (4, 4), (2, 2))
+
+        self._one_warning(invoke)
+
+    def test_shim_results_match_engine(self):
+        module, specs = build_gemm_module(size=4, work_group=2)
+        function = module.lookup_symbol("gemm")
+        resolved = synthesize_spec(function, specs["gemm"])
+        _reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            shimmed = execute_function(module, function, resolved)
+        direct = ExecutionEngine(module, tier="interp").execute(
+            function, resolved)
+        compare_executions(shimmed, direct)
+
+
+# ---------------------------------------------------------------------------
+# Lazy imports
+# ---------------------------------------------------------------------------
+
+class TestLazyImport:
+    def test_engine_resolves_without_eager_dialects(self):
+        script = (
+            "import sys\n"
+            "import repro.interp\n"
+            "eager = [m for m in sys.modules"
+            " if m.startswith('repro.dialects')]\n"
+            "assert not eager, eager\n"
+            "assert repro.interp.ExecutionEngine is not None\n"
+        )
+        subprocess.run([sys.executable, "-c", script], check=True)
+
+
+# ---------------------------------------------------------------------------
+# repro-run wiring
+# ---------------------------------------------------------------------------
+
+class TestReproRunTiers:
+    @pytest.fixture
+    def gemm_path(self, tmp_path):
+        from repro.ir import Printer
+
+        module, _ = build_gemm_module(size=4, work_group=2)
+        path = tmp_path / "gemm.mlir"
+        path.write_text(Printer().print_module(module) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def test_list_tiers(self, capsys):
+        from repro.tools.repro_run import main
+
+        assert main(["--list-tiers"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "auto" in out and "interp" in out
+        assert "jit" in out and "vector" in out
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_tier_flag_reported_in_header(self, tier, gemm_path, capsys):
+        from repro.tools.repro_run import main
+
+        rc = main([str(gemm_path), "--entry", "gemm", "--tier", tier])
+        assert rc == 0
+        assert f"[tier: {tier}]" in capsys.readouterr().out
+
+    def test_unknown_tier_is_usage_error(self, gemm_path, capsys):
+        from repro.tools.repro_run import main
+
+        rc = main([str(gemm_path), "--entry", "gemm", "--tier", "cuda"])
+        assert rc == 2
+        assert "unknown execution tier" in capsys.readouterr().err
