@@ -9,6 +9,8 @@ Tracked scenarios are flattened to ``name -> seconds``:
 * the cache scenario: ``"cache/cold"`` and ``"cache/warm"``;
 * the interpreter scenarios: ``"interp/<name>"``;
 * the tiered-execution scenarios: ``"jit/<name>"`` / ``"vector/<name>"``;
+* the lowering scenarios: ``"lower/<name>"`` (pipeline, lowered-CFG
+  execution, exporter round trip);
 * the static-analysis scenarios: ``"lint/listing-sweep"`` (cold) and
   ``"lint/listing-sweep-warm"`` (analysis-manager hits).
 
@@ -70,8 +72,8 @@ def flatten_scenarios(results: Dict) -> Dict[str, float]:
     # Families whose record names already carry their prefix
     # ("lint/listing-sweep", "process/splice-jobs4",
     # "disk/warm-fresh-process", "serve/round-trip",
-    # "jit/vecadd-exec", "vector/gemm-exec").
-    for family in ("static", "process", "serve", "jit"):
+    # "jit/vecadd-exec", "vector/gemm-exec", "lower/pipeline-gemm").
+    for family in ("static", "process", "serve", "jit", "lower"):
         for record in results.get(family, {}).get("records", ()):
             name = record.get("name")
             seconds = record.get("seconds")

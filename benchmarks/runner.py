@@ -402,7 +402,7 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
               concurrency_functions: int = 64,
               concurrency_ops: int = 4000,
               interp: bool = False, interp_smoke: bool = False,
-              jit: bool = False,
+              jit: bool = False, lower: bool = False,
               static: bool = False, process: bool = False,
               process_jobs: int = 4, process_segments: int = 6,
               process_segment_ops: int = 1500,
@@ -439,6 +439,11 @@ def run_suite(sizes=DEFAULT_SIZES, repeats: int = 3,
 
         results["jit"] = run_jit_suite(repeats=repeats,
                                        smoke=interp_smoke)
+    if lower:
+        from .lower_bench import run_lower_suite
+
+        results["lower"] = run_lower_suite(repeats=repeats,
+                                           smoke=interp_smoke)
     if static:
         results["static"] = bench_static(repeats=repeats, seed=seed)
     if process:
@@ -483,6 +488,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run the tiered-execution scenario "
                              "family: jit and vector tiers on the "
                              "BENCH_5 kernels (the BENCH_9 scenarios)")
+    parser.add_argument("--lower", action="store_true",
+                        help="also run the lowering scenario family: "
+                             "the lower-to-llvm pipeline, lowered-CFG "
+                             "execution and the --emit=mlir exporter "
+                             "(the BENCH_10 scenarios)")
     parser.add_argument("--static", action="store_true",
                         help="also run the lint-sweep / analysis-manager "
                              "warm-vs-cold scenario family (the BENCH_6 "
@@ -534,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         concurrency_functions=concurrency_functions,
                         concurrency_ops=concurrency_ops,
                         interp=args.interp, interp_smoke=args.smoke,
-                        jit=args.jit,
+                        jit=args.jit, lower=args.lower,
                         static=args.static, process=args.process,
                         process_segments=process_segments,
                         process_segment_ops=process_segment_ops,
@@ -579,6 +589,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .jit_bench import summarize as summarize_jit
 
             line = summarize_jit(results)
+            if line:
+                summary.append(line)
+        if "lower" in results:
+            from .lower_bench import summarize as summarize_lower
+
+            line = summarize_lower(results)
             if line:
                 summary.append(line)
         if "process" in results:

@@ -14,10 +14,11 @@ from typing import Callable, Dict, Optional
 
 from ..ir.types import Type
 
-from . import affine, arith, builtin, func, llvm, math, memref, scf, sycl
+from . import affine, arith, builtin, cf, func, llvm, math, memref, scf, sycl
 from .affine import AffineDialect
 from .arith import ArithDialect
 from .builtin import BuiltinDialect, ModuleOp
+from .cf import CFDialect
 from .func import FuncDialect, FuncOp
 from .llvm import LLVMDialect
 from .math import MathDialect
@@ -59,14 +60,16 @@ def all_dialects():
         MemRefDialect(),
         SCFDialect(),
         AffineDialect(),
+        CFDialect(),
         LLVMDialect(),
         SYCLDialect(),
     ]
 
 
 __all__ = [
-    "affine", "arith", "builtin", "func", "llvm", "math", "memref", "scf",
-    "sycl", "AffineDialect", "ArithDialect", "BuiltinDialect", "FuncDialect",
+    "affine", "arith", "builtin", "cf", "func", "llvm", "math", "memref",
+    "scf", "sycl", "AffineDialect", "ArithDialect", "BuiltinDialect",
+    "CFDialect", "FuncDialect",
     "LLVMDialect", "MathDialect", "MemRefDialect", "SCFDialect",
     "SYCLDialect", "ModuleOp", "FuncOp", "all_dialects",
     "TypeParser", "register_type_parser", "lookup_type_parser",

@@ -32,8 +32,10 @@ class FuncOp(Operation):
     """
 
     OPERATION_NAME = "func.func"
-    TRAITS = frozenset({Trait.SYMBOL, Trait.ISOLATED_FROM_ABOVE,
-                        Trait.SINGLE_BLOCK})
+    # No SINGLE_BLOCK: after convert-scf-to-cf a function body is a
+    # multi-block CFG (entry block first, branch terminators between
+    # blocks); structured bodies simply never grow a second block.
+    TRAITS = frozenset({Trait.SYMBOL, Trait.ISOLATED_FROM_ABOVE})
 
     @classmethod
     def build(cls, name: str, arg_types: Sequence[Type],

@@ -10,6 +10,7 @@ pass (``repro.transforms.host_raising``) pattern-matches these operations.
 
 from __future__ import annotations
 
+import math as _math
 from typing import List, Optional, Sequence
 
 from ..ir import (
@@ -29,6 +30,7 @@ from ..ir import (
     Type,
     TypeAttr,
     Value,
+    is_scalar,
     register_op,
 )
 from ..ir.attributes import DenseElementsAttr
@@ -83,6 +85,12 @@ class LLVMFuncOp(Operation):
     @property
     def arguments(self):
         return self.body.arguments
+
+    def is_kernel(self) -> bool:
+        # `convert-func-to-llvm` carries the sycl.* metadata across, so
+        # lowered kernels keep launching through the engine's ND-range
+        # path exactly like their `func.func` originals.
+        return "sycl.kernel" in self.attributes
 
 
 @register_op
@@ -153,11 +161,12 @@ class LLVMAllocaOp(Operation, MemoryEffectsInterface):
     OPERATION_NAME = "llvm.alloca"
 
     @classmethod
-    def build(cls, size: Value, object_name: Optional[str] = None) -> "LLVMAllocaOp":
+    def build(cls, size: Value, object_name: Optional[str] = None,
+              element_type: Optional[Type] = None) -> "LLVMAllocaOp":
         attrs = {}
         if object_name is not None:
             attrs["object"] = StringAttr(object_name)
-        return cls(operands=(size,), result_types=(PointerType(),),
+        return cls(operands=(size,), result_types=(PointerType(element_type),),
                    attributes=attrs)
 
     def memory_effects(self) -> List[MemoryEffect]:
@@ -270,6 +279,132 @@ class LLVMAddressOfOp(Operation):
                    attributes={"global_name": StringAttr(global_name)})
 
 
+# ---------------------------------------------------------------------------
+# Value ops mirroring ``arith`` (the convert-arith-to-llvm targets).
+#
+# Each class provides the same duck-typed hooks arith's op classes do
+# (``_compute`` / ``PREDICATES`` + ``predicate`` / ``_convert``), so the
+# arith evaluators are registered verbatim for the llvm names below and
+# both dialects share one set of trap/IEEE semantics by construction.
+# ---------------------------------------------------------------------------
+
+from . import arith as _arith  # noqa: E402  (shares op machinery)
+
+LLVMAddOp = _arith._int_binop("llvm.add", lambda a, b: a + b,
+                              commutative=True, identity=0)
+LLVMSubOp = _arith._int_binop("llvm.sub", lambda a, b: a - b)
+LLVMMulOp = _arith._int_binop("llvm.mul", lambda a, b: a * b,
+                              commutative=True, identity=1)
+LLVMSDivOp = _arith._int_binop("llvm.sdiv", _arith._floordiv, may_trap=True)
+LLVMUDivOp = _arith._int_binop("llvm.udiv", lambda a, b: a // b,
+                               may_trap=True)
+LLVMSRemOp = _arith._int_binop(
+    "llvm.srem", lambda a, b: a - _arith._floordiv(a, b) * b, may_trap=True)
+LLVMURemOp = _arith._int_binop("llvm.urem", lambda a, b: a % b,
+                               may_trap=True)
+LLVMAndOp = _arith._int_binop("llvm.and", lambda a, b: a & b,
+                              commutative=True)
+LLVMOrOp = _arith._int_binop("llvm.or", lambda a, b: a | b, commutative=True)
+LLVMXOrOp = _arith._int_binop("llvm.xor", lambda a, b: a ^ b,
+                              commutative=True)
+LLVMShlOp = _arith._int_binop("llvm.shl", lambda a, b: a << b, may_trap=True)
+LLVMAShrOp = _arith._int_binop("llvm.ashr", lambda a, b: a >> b,
+                               may_trap=True)
+LLVMSMinOp = _arith._int_binop("llvm.intr.smin", min, commutative=True)
+LLVMSMaxOp = _arith._int_binop("llvm.intr.smax", max, commutative=True)
+
+LLVMFAddOp = _arith._float_binop("llvm.fadd", lambda a, b: a + b,
+                                 commutative=True, identity=0.0)
+LLVMFSubOp = _arith._float_binop("llvm.fsub", lambda a, b: a - b)
+LLVMFMulOp = _arith._float_binop("llvm.fmul", lambda a, b: a * b,
+                                 commutative=True, identity=1.0)
+LLVMFDivOp = _arith._float_binop("llvm.fdiv", lambda a, b: a / b)
+LLVMFRemOp = _arith._float_binop("llvm.frem", _math.fmod)
+LLVMFMinOp = _arith._float_binop(
+    "llvm.intr.fmin", _arith._nan_propagating(min), commutative=True)
+LLVMFMaxOp = _arith._float_binop(
+    "llvm.intr.fmax", _arith._nan_propagating(max), commutative=True)
+
+
+@register_op
+class LLVMICmpOp(_arith.CmpIOp):
+    OPERATION_NAME = "llvm.icmp"
+    PREDICATES = _arith._INT_PREDICATES
+
+
+@register_op
+class LLVMFCmpOp(_arith.CmpIOp):
+    OPERATION_NAME = "llvm.fcmp"
+    PREDICATES = _arith._FLOAT_PREDICATES
+
+
+@register_op
+class LLVMSelectOp(_arith.SelectOp):
+    OPERATION_NAME = "llvm.select"
+
+
+@register_op
+class LLVMFNegOp(_arith.NegFOp):
+    OPERATION_NAME = "llvm.fneg"
+
+
+@register_op
+class LLVMSExtOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.sext"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class LLVMZExtOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.zext"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class LLVMTruncOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.trunc"
+
+    def _convert(self, value):
+        width = self.results[0].type.width
+        return int(value) & ((1 << width) - 1)
+
+
+@register_op
+class LLVMSIToFPOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.sitofp"
+
+    def _convert(self, value):
+        return float(value)
+
+
+@register_op
+class LLVMFPToSIOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.fptosi"
+
+    def _convert(self, value):
+        return int(value)
+
+
+@register_op
+class LLVMFPExtOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.fpext"
+
+    def _convert(self, value):
+        return float(value)
+
+
+@register_op
+class LLVMFPTruncOp(_arith._CastOp):
+    OPERATION_NAME = "llvm.fptrunc"
+
+    def _convert(self, value):
+        return float(value)
+
+
 from ..ir import StructType  # noqa: E402  (grouped with the parser hook)
 
 
@@ -293,12 +428,21 @@ def parse_llvm_type(text, parse_type):
 
 
 # ---------------------------------------------------------------------------
-# Interpreter evaluators (see repro.interp).  Host modules raised from
-# LLVM IR are modelled, not executed: only the value-level ops have
-# semantics here; memory/pointer ops trap with an explanation.
+# Interpreter evaluators (see repro.interp).  Value ops share the arith
+# evaluators (same trap/IEEE semantics); memory ops execute against
+# MemRefStorage/MemRefView runtime values, which is what
+# ``convert-memref-to-llvm``'s pointers resolve to.  Pointers into
+# opaque host objects (no element type) still trap with an explanation.
 # ---------------------------------------------------------------------------
 
-from ..interp.memory import BlockResult, TrapError  # noqa: E402
+from ..interp.memory import (  # noqa: E402
+    AccessorBinding,
+    BlockResult,
+    InterpreterError,
+    MemRefStorage,
+    MemRefView,
+    TrapError,
+)
 from ..interp.registry import register_evaluator  # noqa: E402
 
 
@@ -323,6 +467,105 @@ def _eval_llvm_return(ctx, op, args):
     return BlockResult("return", tuple(args))
 
 
+for _name in (
+    "llvm.add", "llvm.sub", "llvm.mul", "llvm.sdiv", "llvm.udiv",
+    "llvm.srem", "llvm.urem", "llvm.and", "llvm.or", "llvm.xor",
+    "llvm.intr.smin", "llvm.intr.smax",
+    "llvm.fadd", "llvm.fsub", "llvm.fmul", "llvm.fdiv", "llvm.frem",
+    "llvm.intr.fmin", "llvm.intr.fmax",
+):
+    register_evaluator(_name, _arith._eval_binary)
+
+register_evaluator("llvm.shl", _arith._eval_shift)
+register_evaluator("llvm.ashr", _arith._eval_shift)
+register_evaluator("llvm.icmp", _arith._eval_cmp)
+register_evaluator("llvm.fcmp", _arith._eval_cmp)
+register_evaluator("llvm.select", _arith._eval_select)
+register_evaluator("llvm.fneg", _arith._eval_negf)
+
+for _name in ("llvm.sext", "llvm.zext", "llvm.trunc", "llvm.sitofp",
+              "llvm.fptosi", "llvm.fpext", "llvm.fptrunc"):
+    register_evaluator(_name, _arith._eval_cast)
+
+
+def _pointer_element_type(type_):
+    pointee = getattr(type_, "pointee", None)
+    if pointee is not None and is_scalar(pointee):
+        return pointee
+    return None
+
+
+@register_evaluator("llvm.alloca")
+def _eval_llvm_alloca(ctx, op, args):
+    element = _pointer_element_type(op.results[0].type)
+    if element is None:
+        raise TrapError(
+            f"'{op.name}' of an opaque host object is not executable; "
+            "only element-typed allocations (from convert-memref-to-llvm) "
+            "have storage semantics")
+    size = int(args[0]) if args else 1
+    if size < 0:
+        raise TrapError(f"'{op.name}' with negative size {size}")
+    return [MemRefStorage((size,), element)]
+
+
+def _pointer_window(value):
+    """Normalize a runtime pointer value to a flat-addressable window."""
+    if isinstance(value, (MemRefView, MemRefStorage)):
+        return value
+    if isinstance(value, AccessorBinding):
+        return MemRefView(value.storage, value.base_linear_offset())
+    return None
+
+
+@register_evaluator("llvm.load")
+def _eval_llvm_load(ctx, op, args):
+    target = _pointer_window(args[0])
+    if target is None:
+        raise TrapError(
+            f"'{op.name}' through an opaque host pointer is not executable")
+    ctx.counters.count_load(target.element_bytes)
+    return [target.load_flat(0)]
+
+
+@register_evaluator("llvm.store")
+def _eval_llvm_store(ctx, op, args):
+    target = _pointer_window(args[1])
+    if target is None:
+        raise TrapError(
+            f"'{op.name}' through an opaque host pointer is not executable")
+    ctx.counters.count_store(target.element_bytes)
+    target.store_flat(0, args[0])
+    return []
+
+
+@register_evaluator("llvm.getelementptr")
+def _eval_llvm_gep(ctx, op, args):
+    offset = sum(op.static_offsets) + sum(int(v) for v in args[1:])
+    base = args[0]
+    if isinstance(base, MemRefView):
+        return [MemRefView(base.storage, base.base + offset)]
+    if isinstance(base, MemRefStorage):
+        return [MemRefView(base, offset)]
+    if isinstance(base, AccessorBinding):
+        return [MemRefView(base.storage, base.base_linear_offset() + offset)]
+    raise TrapError(
+        f"'{op.name}' over an opaque host pointer is not executable")
+
+
+@register_evaluator("llvm.call")
+def _eval_llvm_call(ctx, op, args):
+    callee = op.callee_name()
+    if callee is None:
+        raise InterpreterError("llvm.call without a callee symbol")
+    results = yield from ctx.call(callee, args)
+    if len(results) != len(op.results):
+        raise InterpreterError(
+            f"call to '{callee}' returned {len(results)} values, "
+            f"call site expects {len(op.results)}")
+    return results
+
+
 def _eval_llvm_unsupported(ctx, op, args):
     raise TrapError(
         f"'{op.name}' models opaque host LLVM IR and is not executable; "
@@ -330,8 +573,7 @@ def _eval_llvm_unsupported(ctx, op, args):
         "functions instead")
 
 
-for _name in ("llvm.alloca", "llvm.load", "llvm.store", "llvm.getelementptr",
-              "llvm.call", "llvm.mlir.global", "llvm.mlir.addressof"):
+for _name in ("llvm.mlir.global", "llvm.mlir.addressof"):
     register_evaluator(_name, _eval_llvm_unsupported)
 
 

@@ -354,8 +354,11 @@ def execute_function(module: ModuleOp, function: FuncOp,
 
 
 def _executable_functions(module: ModuleOp) -> List[FuncOp]:
+    from ..dialects.llvm import LLVMFuncOp
+
     functions = [op for op in module.walk()
-                 if isinstance(op, FuncOp) and not op.is_declaration]
+                 if isinstance(op, (FuncOp, LLVMFuncOp))
+                 and not op.is_declaration]
     functions.sort(key=lambda f: f.sym_name)
     return functions
 

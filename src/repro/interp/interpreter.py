@@ -191,7 +191,13 @@ class EvalContext:
 
     def invoke(self, func: FuncOp, args: Sequence[object]) -> object:
         """Generator: execute ``func`` in a fresh frame; returns its
-        result values."""
+        result values.
+
+        Function bodies may be multi-block CFGs (after
+        ``convert-scf-to-cf``): a block ending in a ``"branch"`` outcome
+        transfers control to the successor block here, so barriers keep
+        suspending the whole work item through arbitrary branch chains.
+        """
         interp = self.interpreter
         if func.is_declaration:
             raise InterpreterError(
@@ -204,6 +210,12 @@ class EvalContext:
         try:
             frame = EvalContext(interp, None, self.work_item, self.group)
             outcome = yield from frame.exec_block(func.body, list(args))
+            while outcome.kind == "branch":
+                # A runaway CFG loop is bounded by max_steps: every
+                # branch terminator was itself dispatched via _step.
+                target, branch_args = outcome.values
+                outcome = yield from frame.exec_block(
+                    target, list(branch_args))
         finally:
             interp._exit_call()
         if outcome.kind == "return":
@@ -283,13 +295,15 @@ class Interpreter:
 
     # -- lookup --------------------------------------------------------------
     def lookup_function(self, name: Union[str, FuncOp]) -> FuncOp:
-        if isinstance(name, FuncOp):
+        from ..dialects.llvm import LLVMFuncOp
+
+        if isinstance(name, (FuncOp, LLVMFuncOp)):
             return name
         if self.module is None:
             raise InterpreterError(
                 "interpreter has no module to resolve symbols in")
         func = self.module.lookup_symbol(name)
-        if not isinstance(func, FuncOp):
+        if not isinstance(func, (FuncOp, LLVMFuncOp)):
             raise InterpreterError(
                 f"no function named '{name}' in the module")
         return func

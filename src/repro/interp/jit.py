@@ -345,6 +345,9 @@ class _Emitter:
         self.static_budget: List[Tuple[str, int]] = []
         self.scopes: List[set] = []            # constructed-cell scopes
         self.memo_stack: List[Dict] = []       # scoped subscript CSE
+        #: Result variables of the enclosing scf.while, written by its
+        #: scf.condition terminator.
+        self.cond_sink: List[List[str]] = []
         self.cell_comps: Dict[str, List[str]] = {}
         self.hoisted: Dict[int, _Ref] = {}     # id(alloc op) -> group tile
         self.group_lines: List[str] = []       # per-group setup
@@ -865,6 +868,18 @@ class _Emitter:
         if name in ("scf.for", "affine.for"):
             self._emit_for(op, affine=(name == "affine.for"))
             return
+        if name == "scf.while":
+            self._emit_while(op)
+            return
+        if name == "scf.condition":
+            if not self.cond_sink:
+                raise self.unsup("'scf.condition' outside an scf.while")
+            res_vars = self.cond_sink[-1]
+            if res_vars:
+                exprs = [self.expr(v) for v in op.operands[1:]]
+                self.line(f"{', '.join(res_vars)} = {', '.join(exprs)}")
+            self.line(f"if not {self.expr(op.operands[0])}: break")
+            return
         if name == "affine.apply":
             coefficients = op.coefficients
             if len(coefficients) != len(op.operands):
@@ -1069,6 +1084,40 @@ class _Emitter:
                         count=count)
         self.ind -= 1
         for result, var in zip(op.results, c_vars):
+            self.kinds[id(result)] = ("scalar", var)
+
+    def _emit_while(self, op) -> None:
+        """``scf.while`` compiles to ``while True`` with the condition
+        check in the middle::
+
+            w.. = <inits>
+            while True:
+                <before block, args = w..>
+                r.. = <forwarded>            # from scf.condition
+                if not <cond>: break         #
+                <after block, args = r..>
+                w.. = <yielded>              # from scf.yield
+
+        The before block's trip count is data dependent, so it carries a
+        run-time ``_bc`` counter with the step-budget check — that
+        bounds runaway loops exactly like the interpreter's budget.
+        """
+        w_vars = [self.fresh("w") for _ in op.operands]
+        if w_vars:
+            inits = [self.expr(v) for v in op.operands]
+            self.line(f"{', '.join(w_vars)} = {', '.join(inits)}")
+        res_vars = [self.fresh() for _ in op.results]
+        self.line("while True:")
+        self.ind += 1
+        self.cond_sink.append(res_vars)
+        self.emit_block(op.before_block,
+                        [("scalar", w) for w in w_vars], budget=True)
+        self.cond_sink.pop()
+        self.emit_block(op.after_block,
+                        [("scalar", r) for r in res_vars], budget=False,
+                        yield_vars=w_vars)
+        self.ind -= 1
+        for result, var in zip(op.results, res_vars):
             self.kinds[id(result)] = ("scalar", var)
 
     # -- memory --------------------------------------------------------------

@@ -76,7 +76,9 @@ class BlockResult:
 
     ``kind`` is ``"return"`` (``func.return``), ``"yield"`` (``scf.yield``
     / ``affine.yield``), ``"condition"`` (``scf.condition``; ``values[0]``
-    is the flag) or ``"fallthrough"`` for blocks without a terminator.
+    is the flag), ``"branch"`` (``cf.br``/``cf.cond_br``; ``values`` is
+    ``(target_block, arg_values)`` and the function-level dispatch loop
+    follows it) or ``"fallthrough"`` for blocks without a terminator.
     """
 
     kind: str

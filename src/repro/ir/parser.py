@@ -241,6 +241,20 @@ class Parser:
         result_names = self._parse_result_names()
         op_name = self._parse_string_literal("operation name")
         operand_names = self._parse_operand_names()
+
+        # Upstream-MLIR generic order (the `--emit=mlir` exporter):
+        # successor list and region list come directly after the operand
+        # list, with the attribute dictionary after the regions.  The
+        # classic order printed by repro.ir.printer puts both after the
+        # signature instead; a '[' or '(' here is unambiguous because
+        # the classic order always continues with '{' or ':'.
+        successor_indices: Optional[List[int]] = None
+        if self._peek("["):
+            successor_indices = self._parse_successor_indices()
+        early_regions: Optional[List[Region]] = None
+        if self._peek("("):
+            early_regions = self._parse_detached_regions(op_name)
+
         attributes = self._parse_attr_dict() if self._peek("{") else {}
         self._expect(":", "before the operation signature")
         in_types = self._parse_paren_type_list()
@@ -266,18 +280,23 @@ class Parser:
                 f"signature lists {len(out_types)} result types")
 
         op = self._create_operation(op_name, operands, out_types, attributes)
+        if early_regions is not None:
+            for region in early_regions:
+                region.parent = op
+                op.regions.append(region)
         for res, name in zip(op.results, result_names):
             res.name_hint = _keepable_hint(name)
             self._define_value(name, res)
 
-        if self._peek("["):
-            indices = self._parse_successor_indices()
+        if successor_indices is None and self._peek("["):
+            successor_indices = self._parse_successor_indices()
+        if successor_indices is not None:
             if successor_sink is None:
                 self.error(
                     f"'{op_name}' lists successors outside of a region")
-            successor_sink.append((op, indices))
+            successor_sink.append((op, successor_indices))
 
-        if self._peek("("):
+        if early_regions is None and self._peek("("):
             self._parse_region_list(op)
 
         # Trailing `loc(...)` (printed under print_locations) wins over the
@@ -398,21 +417,43 @@ class Parser:
     def _parse_region_list(self, op: Operation) -> None:
         self._expect("(")
         while self._peek("{"):
-            self._parse_region(op)
+            region = Region(op)
+            op.regions.append(region)
+            self._parse_region_body(
+                region, has_trait(op, Trait.ISOLATED_FROM_ABOVE), op.name)
         self._expect(")", "after the region list")
 
-    def _parse_region(self, op: Operation) -> None:
+    def _parse_detached_regions(self, op_name: str) -> List[Region]:
+        """Region list parsed before its operation exists (upstream order).
+
+        The regions are attached to the operation once the signature has
+        been read and the operation created; isolation for SSA scoping
+        comes from the registered operation class, since there is no
+        instance to ask yet.
+        """
+        op_class = lookup_op_class(op_name)
+        isolated = op_class is not None and \
+            has_trait(op_class, Trait.ISOLATED_FROM_ABOVE)
+        self._expect("(")
+        regions: List[Region] = []
+        while self._peek("{"):
+            region = Region()
+            regions.append(region)
+            self._parse_region_body(region, isolated, op_name)
+        self._expect(")", "after the region list")
+        return regions
+
+    def _parse_region_body(self, region: Region, isolated: bool,
+                           op_name: str) -> None:
         self._expect("{")
-        region = Region(op)
-        op.regions.append(region)
-        self._scopes.append(_Scope(has_trait(op, Trait.ISOLATED_FROM_ABOVE)))
+        self._scopes.append(_Scope(isolated))
         label_map: Dict[int, Block] = {}
         fixups: List[Tuple[Operation, List[int]]] = []
         current: Optional[Block] = None
         while not self._peek("}"):
             if self._at_end():
                 self.error(
-                    f"unbalanced region in '{op.name}': missing '}}' before "
+                    f"unbalanced region in '{op_name}': missing '}}' before "
                     "end of input")
             if self._peek("^"):
                 label, block = self._parse_block_header()

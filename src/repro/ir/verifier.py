@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from .diagnostics import Diagnostic, DiagnosticEngine, Severity
+from .dominance import block_dominates
 from .location import location_of
 from .operations import Block, Operation
 from .traits import Trait, has_trait
@@ -93,6 +94,12 @@ def _verify_block(parent: Operation, block: Block,
                 diagnostics, op,
                 f"{op.name}: terminator must be the last operation in its "
                 f"block")
+        for successor in op.successors:
+            if successor.parent is not block.parent:
+                _report(
+                    diagnostics, op,
+                    f"{op.name}: successor block does not belong to the "
+                    f"enclosing region")
         for operand in op.operands:
             if not _value_visible_from(operand, op):
                 diagnostic = _report(
@@ -108,12 +115,14 @@ def _verify_block(parent: Operation, block: Block,
 
 
 def _value_visible_from(value: Value, user: Operation) -> bool:
-    """Check that ``value`` is visible (structurally dominates) at ``user``.
+    """Check that ``value`` is visible (dominates) at ``user``.
 
-    For the structured-control-flow IR used throughout this project it is
-    sufficient to check that the defining operation/block argument belongs
-    to an ancestor block of the user and, for same-block definitions, occurs
-    earlier in the block.
+    For structured control flow it is sufficient to check that the
+    defining operation/block argument belongs to an ancestor block of the
+    user and, for same-block definitions, occurs earlier in the block.
+    In multi-block regions (the CFG ``convert-scf-to-cf`` produces) a
+    definition in a sibling block is visible when its block dominates the
+    block the use is (transitively) nested in.
     """
     owner_block = value.owner_block()
     if owner_block is None:
@@ -129,6 +138,11 @@ def _value_visible_from(value: Value, user: Operation) -> bool:
         block = parent_op.parent if parent_op is not None else None
 
     if owner_block not in enclosing:
+        region = owner_block.parent
+        if region is not None:
+            for candidate in enclosing:
+                if candidate.parent is region:
+                    return block_dominates(owner_block, candidate)
         return False
 
     if isinstance(value, BlockArgument):

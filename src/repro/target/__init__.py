@@ -1,0 +1,33 @@
+"""Lowering / target subsystem.
+
+Home of everything that takes the project's structured IR *down and
+out*: the conversion passes behind the ``lower-to-llvm`` pipeline
+(:mod:`repro.target.conversions`) and the upstream-MLIR-compatible
+textual exporter behind ``repro-opt --emit=mlir``
+(:mod:`repro.target.export`).
+
+Importing this package registers the conversion passes with the pass
+registry; :mod:`repro.transforms.pipelines` does so when it registers
+the ``lower-to-llvm`` named pipeline.
+"""
+
+from . import conversions
+from .conversions import (
+    ConvertArithToLLVM,
+    ConvertFuncToLLVM,
+    ConvertMemRefToLLVM,
+    ConvertSCFToCF,
+    LowerAffine,
+)
+from .export import MLIRPrinter, emit_mlir
+
+__all__ = [
+    "ConvertArithToLLVM",
+    "ConvertFuncToLLVM",
+    "ConvertMemRefToLLVM",
+    "ConvertSCFToCF",
+    "LowerAffine",
+    "MLIRPrinter",
+    "conversions",
+    "emit_mlir",
+]

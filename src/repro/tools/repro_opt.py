@@ -155,6 +155,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print loc(...) trailers on every operation "
              "(-mlir-print-debuginfo analogue)")
     parser.add_argument(
+        "--emit", default="generic", choices=("generic", "mlir"),
+        help="output syntax: 'generic' (the classic printer order, "
+             "default) or 'mlir' (upstream-MLIR generic form: regions "
+             "and successors before the attribute dictionary, suitable "
+             "for mlir-opt -allow-unregistered-dialect)")
+    parser.add_argument(
         "--report", action="store_true",
         help="print the compile report (statistics, remarks) to stderr")
     parser.add_argument(
@@ -401,7 +407,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         use_batch_process = (
             args.parallel_tier == "process" and args.jobs > 1
             and len(segments) > 1 and engine is None and not args.lint
-            and not manager.instrumentations)
+            and not manager.instrumentations
+            # Workers print the classic form; exported syntax must go
+            # through the in-process printer.
+            and args.emit == "generic")
         # An in-memory cache can only hit across segments of one
         # invocation, and an instrumented manager never consults any
         # cache (hits would swallow --verify-each / --print-ir output)
@@ -472,6 +481,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 print(f"repro-opt: {label}: {diagnostic.render()}",
                       file=sys.stderr)
             lint_findings += len(findings)
+        if args.emit == "mlir":
+            from ..target import emit_mlir
+
+            return 0, emit_mlir(
+                module, print_locations=args.print_locations) + "\n"
         return 0, (Printer(print_locations=args.print_locations)
                    .print_module(module) + "\n")
 

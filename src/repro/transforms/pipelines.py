@@ -59,6 +59,11 @@ from .pass_manager import (
 )
 from .specialization import RuntimeCheckedAliasAnalysis
 
+# Importing the target subsystem registers the conversion passes behind
+# the "lower-to-llvm" pipeline with the declarative pass registry, so
+# `repro-opt --passes 'convert-scf-to-cf'` works standalone.
+from ..target import conversions as _target_conversions  # noqa: E402,F401
+
 
 @dataclass
 class OptimizationOptions:
@@ -181,6 +186,36 @@ def adaptivecpp_jit_pipeline(jobs: int = 1) -> PassManager:
         CSEPass(),
         DCEPass(),
     ])
+    return pm
+
+
+def lower_to_llvm_pipeline(jobs: int = 1) -> PassManager:
+    """Progressive lowering to an LLVM-dialect CFG.
+
+    Accessor subscripts become plain memref accesses, affine constructs
+    become ``scf``, structured control flow becomes a ``cf`` branch
+    CFG, arithmetic and memory accesses become ``llvm.*``, and finally
+    whole functions convert to ``llvm.func``.  The differential harness
+    proves the composition preserves the source module's semantics
+    (see :mod:`repro.target.conversions` and ``docs/lowering.md``).
+    """
+    from ..target.conversions import (
+        ConvertArithToLLVM,
+        ConvertFuncToLLVM,
+        ConvertMemRefToLLVM,
+        ConvertSCFToCF,
+        LowerAffine,
+    )
+
+    pm = PassManager(jobs=jobs)
+    _nest_function_passes(pm, [
+        LowerAccessorSubscripts(),
+        LowerAffine(),
+        ConvertSCFToCF(),
+        ConvertArithToLLVM(),
+        ConvertMemRefToLLVM(),
+    ])
+    pm.add(ConvertFuncToLLVM())
     return pm
 
 
@@ -559,6 +594,8 @@ NAMED_PIPELINES: Dict[str, Callable[..., PassManager]] = {
         "adaptivecpp-aot", lambda jobs: adaptivecpp_aot_pipeline(jobs=jobs)),
     "adaptivecpp-jit": _options_free(
         "adaptivecpp-jit", lambda jobs: adaptivecpp_jit_pipeline(jobs=jobs)),
+    "lower-to-llvm": _options_free(
+        "lower-to-llvm", lambda jobs: lower_to_llvm_pipeline(jobs=jobs)),
 }
 
 

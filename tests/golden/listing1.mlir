@@ -1,0 +1,14 @@
+"builtin.module"() ({
+  "func.func"() ({
+   ^bb0(%cond: i1, %v1: i32, %v2: i32, %ptr1: memref<i32>, %ptr2: memref<i32>):
+    "scf.if"(%cond) ({
+      "memref.store"(%v1, %ptr1) {tag = "a"} : (i32, memref<i32>) -> ()
+      "scf.yield"() : () -> ()
+    }{
+      "memref.store"(%v2, %ptr2) {tag = "b"} : (i32, memref<i32>) -> ()
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    %0 = "memref.load"(%ptr1) : (memref<i32>) -> (i32)
+    "func.return"() : () -> ()
+  }) {function_type = (i1, i32, i32, memref<i32>, memref<i32>) -> (), sym_name = "foo", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()

@@ -1,0 +1,20 @@
+"builtin.module"() ({
+  "llvm.func"() ({
+   ^bb0(%cond: i1, %v1: i32, %v2: i32, %ptr1: memref<i32>, %ptr2: memref<i32>):
+    "cf.cond_br"(%cond)[^bb1, ^bb2] {num_true_args = 0 : i64} : (i1) -> ()
+   ^bb1():
+    %0 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    %1 = "builtin.unrealized_conversion_cast"(%ptr1) : (memref<i32>) -> (!llvm.ptr<i32>)
+    %2 = "llvm.getelementptr"(%1, %0) {static_offsets = []} : (!llvm.ptr<i32>, index) -> (!llvm.ptr)
+    "llvm.store"(%v1, %2) : (i32, !llvm.ptr) -> ()
+    "cf.br"()[^bb3] : () -> ()
+   ^bb2():
+    %3 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    %4 = "builtin.unrealized_conversion_cast"(%ptr2) : (memref<i32>) -> (!llvm.ptr<i32>)
+    %5 = "llvm.getelementptr"(%4, %3) {static_offsets = []} : (!llvm.ptr<i32>, index) -> (!llvm.ptr)
+    "llvm.store"(%v2, %5) : (i32, !llvm.ptr) -> ()
+    "cf.br"()[^bb3] : () -> ()
+   ^bb3():
+    "llvm.return"() : () -> ()
+  }) {function_type = (i1, i32, i32, memref<i32>, memref<i32>) -> (), sym_name = "foo", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()

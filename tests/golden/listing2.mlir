@@ -1,0 +1,25 @@
+"builtin.module"() ({
+  "func.func"() ({
+   ^bb0(%nd_item: memref<?x!sycl_nd_item_2>, %idx: index):
+    %0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %1 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %2 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %3 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %4 = "memref.alloca"() : () -> (memref<10xi64>)
+    %5 = "sycl.nd_item.get_global_id"(%nd_item, %0) : (memref<?x!sycl_nd_item_2>, i32) -> (index)
+    %6 = "arith.cmpi"(%5, %1) {predicate = "sgt"} : (index, i64) -> (i1)
+    "scf.if"(%6) ({
+      "memref.store"(%2, %4, %idx) : (i64, memref<10xi64>, index) -> ()
+      "scf.yield"() : () -> ()
+    }{
+      "memref.store"(%3, %4, %idx) : (i64, memref<10xi64>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    %7 = "memref.load"(%4, %idx) : (memref<10xi64>, index) -> (i64)
+    %8 = "arith.cmpi"(%7, %1) {predicate = "sgt"} : (i64, i64) -> (i1)
+    "scf.if"(%8) ({
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<?x!sycl_nd_item_2>, index) -> (), sycl.kernel = unit, sym_name = "non_uniform", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()

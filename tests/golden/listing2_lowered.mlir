@@ -1,0 +1,31 @@
+"builtin.module"() ({
+  "llvm.func"() ({
+   ^bb0(%nd_item: memref<?x!sycl_nd_item_2>, %idx: index):
+    %0 = "llvm.mlir.constant"() {value = 0 : i32} : () -> (i32)
+    %1 = "llvm.mlir.constant"() {value = 0 : i64} : () -> (i64)
+    %2 = "llvm.mlir.constant"() {value = 1 : i64} : () -> (i64)
+    %3 = "llvm.mlir.constant"() {value = 2 : i64} : () -> (i64)
+    %4 = "llvm.mlir.constant"() {value = 10 : index} : () -> (index)
+    %5 = "llvm.alloca"(%4) : (index) -> (!llvm.ptr<i64>)
+    %6 = "sycl.nd_item.get_global_id"(%nd_item, %0) : (memref<?x!sycl_nd_item_2>, i32) -> (index)
+    %7 = "llvm.icmp"(%6, %1) {predicate = "sgt"} : (index, i64) -> (i1)
+    "cf.cond_br"(%7)[^bb1, ^bb2] {num_true_args = 0 : i64} : (i1) -> ()
+   ^bb1():
+    %8 = "llvm.getelementptr"(%5, %idx) {static_offsets = []} : (!llvm.ptr<i64>, index) -> (!llvm.ptr)
+    "llvm.store"(%2, %8) : (i64, !llvm.ptr) -> ()
+    "cf.br"()[^bb3] : () -> ()
+   ^bb2():
+    %9 = "llvm.getelementptr"(%5, %idx) {static_offsets = []} : (!llvm.ptr<i64>, index) -> (!llvm.ptr)
+    "llvm.store"(%3, %9) : (i64, !llvm.ptr) -> ()
+    "cf.br"()[^bb3] : () -> ()
+   ^bb3():
+    %10 = "llvm.getelementptr"(%5, %idx) {static_offsets = []} : (!llvm.ptr<i64>, index) -> (!llvm.ptr)
+    %11 = "llvm.load"(%10) : (!llvm.ptr) -> (i64)
+    %12 = "llvm.icmp"(%11, %1) {predicate = "sgt"} : (i64, i64) -> (i1)
+    "cf.cond_br"(%12)[^bb4, ^bb5] {num_true_args = 0 : i64} : (i1) -> ()
+   ^bb4():
+    "cf.br"()[^bb5] : () -> ()
+   ^bb5():
+    "llvm.return"() : () -> ()
+  }) {function_type = (memref<?x!sycl_nd_item_2>, index) -> (), sycl.kernel = unit, sym_name = "non_uniform", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()

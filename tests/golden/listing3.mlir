@@ -1,0 +1,26 @@
+"builtin.module"() ({
+  "func.func"() ({
+   ^bb0(%acc: memref<?x!sycl_accessor_3_f32_read_write>, %item: memref<?x!sycl_item_2>):
+    %0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %1 = "arith.constant"() {value = 1 : i32} : () -> (i32)
+    %2 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %3 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %4 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %5 = "arith.constant"() {value = 64 : index} : () -> (index)
+    %6 = "memref.alloca"() : () -> (memref<1x!sycl_id_3>)
+    %7 = "sycl.item.get_id"(%item, %0) : (memref<?x!sycl_item_2>, i32) -> (index)
+    %8 = "sycl.item.get_id"(%item, %1) : (memref<?x!sycl_item_2>, i32) -> (index)
+    "affine.for"(%2, %5) ({
+     ^bb0(%iv: index):
+      %9 = "arith.addi"(%7, %3) : (index, index) -> (index)
+      %10 = "arith.muli"(%iv, %4) : (index, index) -> (index)
+      %11 = "arith.addi"(%10, %4) : (index, index) -> (index)
+      %12 = "arith.addi"(%11, %8) : (index, index) -> (index)
+      "sycl.constructor"(%6, %9, %10, %12) {type = @id} : (memref<1x!sycl_id_3>, index, index, index) -> ()
+      %13 = "sycl.accessor.subscript"(%acc, %6) : (memref<?x!sycl_accessor_3_f32_read_write>, memref<1x!sycl_id_3>) -> (memref<?xf32>)
+      %14 = "affine.load"(%13, %2) : (memref<?xf32>, index) -> (f32)
+      "affine.yield"() : () -> ()
+    }) {step = 1 : i64} : (index, index) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<?x!sycl_accessor_3_f32_read_write>, memref<?x!sycl_item_2>) -> (), sycl.kernel = unit, sym_name = "mem_acc", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()

@@ -1,0 +1,17 @@
+"builtin.module"() ({
+  "llvm.func"() ({
+   ^bb0(%acc: memref<?x!sycl_accessor_3_f32_read_write>, %item: memref<?x!sycl_item_2>):
+    %0 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    %1 = "llvm.mlir.constant"() {value = 64 : index} : () -> (index)
+    %2 = "llvm.mlir.constant"() {value = 1 : index} : () -> (index)
+    "cf.br"(%0)[^bb1] : (index) -> ()
+   ^bb1(%iv: index):
+    %3 = "llvm.icmp"(%iv, %1) {predicate = "slt"} : (index, index) -> (i1)
+    "cf.cond_br"(%3, %iv)[^bb2, ^bb3] {num_true_args = 1 : i64} : (i1, index) -> ()
+   ^bb2(%iv_0: index):
+    %4 = "llvm.add"(%iv_0, %2) : (index, index) -> (index)
+    "cf.br"(%4)[^bb1] : (index) -> ()
+   ^bb3():
+    "llvm.return"() : () -> ()
+  }) {function_type = (memref<?x!sycl_accessor_3_f32_read_write>, memref<?x!sycl_item_2>) -> (), sycl.kernel = unit, sym_name = "mem_acc", sym_visibility = "public"} : () -> ()
+}) {sym_name = "test"} : () -> ()
